@@ -1,0 +1,303 @@
+package extrap
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation at full scale. Run all of them with
+//
+//	go test -bench=. -benchmem
+//
+// and print the regenerated rows/series with -v (each benchmark logs its
+// rendered output once). Reported custom metrics summarize the headline
+// result of each experiment so regressions in *shape* — not just speed —
+// are visible in benchmark diffs.
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"extrap/internal/benchmarks"
+	"extrap/internal/core"
+	"extrap/internal/experiments"
+	"extrap/internal/machine"
+	"extrap/internal/pcxx"
+	"extrap/internal/profile"
+	"extrap/internal/sim"
+	"extrap/internal/timeline"
+	"extrap/internal/trace"
+	"extrap/internal/translate"
+)
+
+// benchExperiment runs one full-scale experiment per iteration and logs
+// its rendered tables and figures once.
+func benchExperiment(b *testing.B, id string) *experiments.Output {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var out *experiments.Output
+	for i := 0; i < b.N; i++ {
+		out, err = e.Run(experiments.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	out.Render(&buf)
+	b.Log("\n" + buf.String())
+	return out
+}
+
+// seriesValue digs a named series' value at an x position out of a figure.
+func seriesValue(out *experiments.Output, figure int, series string, xIdx int) float64 {
+	f := out.Figures[figure]
+	for _, s := range f.Series {
+		if s.Name == series && xIdx < len(s.Values) {
+			return s.Values[xIdx]
+		}
+	}
+	return 0
+}
+
+// BenchmarkFig4SpeedupCurves regenerates Figure 4: speedup curves for the
+// whole benchmark suite under the distributed-memory parameter set.
+func BenchmarkFig4SpeedupCurves(b *testing.B) {
+	out := benchExperiment(b, "fig4")
+	b.ReportMetric(seriesValue(out, 0, "embar", 5), "embar-speedup-32p")
+	b.ReportMetric(seriesValue(out, 0, "grid", 5), "grid-speedup-32p")
+}
+
+// BenchmarkFig5GridExtrapolations regenerates Figure 5: Grid under the
+// five environments of the transfer-size investigation.
+func BenchmarkFig5GridExtrapolations(b *testing.B) {
+	out := benchExperiment(b, "fig5")
+	b.ReportMetric(seriesValue(out, 1, "dm-20MB/s (estimate)", 5), "estimate-speedup-32p")
+	b.ReportMetric(seriesValue(out, 1, "dm-20MB/s (actual size)", 5), "actual-speedup-32p")
+	b.ReportMetric(seriesValue(out, 1, "ideal", 5), "ideal-speedup-32p")
+}
+
+// BenchmarkFig6MipsRatio regenerates Figure 6: processor-speed
+// extrapolation across four benchmarks.
+func BenchmarkFig6MipsRatio(b *testing.B) {
+	out := benchExperiment(b, "fig6")
+	// Embar times scale ~2× with MipsRatio 2.0 vs 1.0 at every point.
+	slow := seriesValue(out, 0, "MipsRatio=2.0", 5)
+	base := seriesValue(out, 0, "MipsRatio=1.0", 5)
+	if base > 0 {
+		b.ReportMetric(slow/base, "embar-time-ratio-2.0-vs-1.0")
+	}
+}
+
+// BenchmarkFig7MgridStartup regenerates Figure 7: MipsRatio ×
+// CommStartupTime on Mgrid, tracking the minimum-time processor count.
+func BenchmarkFig7MgridStartup(b *testing.B) {
+	out := benchExperiment(b, "fig7")
+	for _, row := range out.Tables[0].Rows {
+		if len(row) >= 3 {
+			if v, err := strconv.Atoi(row[2]); err == nil && row[0] == "1.00" && strings.HasPrefix(row[1], "5.000") {
+				b.ReportMetric(float64(v), "best-procs-ratio1-startup5us")
+			}
+		}
+	}
+}
+
+// BenchmarkFig8ServicePolicies regenerates Figure 8: remote request
+// service policies on Cyclic and Grid.
+func BenchmarkFig8ServicePolicies(b *testing.B) {
+	out := benchExperiment(b, "fig8")
+	ni := seriesValue(out, 1, "no-interrupt/poll", 3)
+	in := seriesValue(out, 1, "interrupt", 3)
+	if in > 0 {
+		b.ReportMetric(ni/in, "grid-nointerrupt-vs-interrupt-8p")
+	}
+}
+
+// BenchmarkFig9MatmulValidation regenerates Figure 9: Matmul predicted
+// (ExtraP with Table 3 parameters) vs actual (direct CM-5 model), with
+// the ranking-agreement analysis.
+func BenchmarkFig9MatmulValidation(b *testing.B) {
+	out := benchExperiment(b, "fig9")
+	agree := 0.0
+	for _, tab := range out.Tables {
+		if strings.Contains(tab.Title, "Ranking") {
+			for _, row := range tab.Rows {
+				if row[3] == "yes" || row[3] == "tie" {
+					agree++
+				}
+			}
+		}
+	}
+	b.ReportMetric(agree, "best-choice-agreements")
+}
+
+// BenchmarkTable1BarrierParams regenerates Table 1 and its sensitivity
+// sweep.
+func BenchmarkTable1BarrierParams(b *testing.B) {
+	benchExperiment(b, "table1")
+}
+
+// BenchmarkTable2Suite regenerates Table 2: the benchmark inventory with
+// verification.
+func BenchmarkTable2Suite(b *testing.B) {
+	out := benchExperiment(b, "table2")
+	verified := 0.0
+	for _, row := range out.Tables[0].Rows {
+		if row[len(row)-1] == "yes" {
+			verified++
+		}
+	}
+	b.ReportMetric(verified, "verified-benchmarks")
+}
+
+// BenchmarkTable3CM5Params regenerates Table 3: the CM-5 parameter
+// derivation (MFLOPS microbenchmark and parameter set).
+func BenchmarkTable3CM5Params(b *testing.B) {
+	benchExperiment(b, "table3")
+}
+
+// BenchmarkAblationBarrierAlgorithms compares the paper's linear barrier
+// against tree and hardware alternatives.
+func BenchmarkAblationBarrierAlgorithms(b *testing.B) {
+	benchExperiment(b, "ablation-barrier")
+}
+
+// BenchmarkAblationContention toggles the analytical contention model.
+func BenchmarkAblationContention(b *testing.B) {
+	benchExperiment(b, "ablation-contention")
+}
+
+// BenchmarkAblationMultithread exercises the n-threads-on-m-processors
+// extension.
+func BenchmarkAblationMultithread(b *testing.B) {
+	benchExperiment(b, "ablation-multithread")
+}
+
+// --- component micro-benchmarks ---------------------------------------------
+
+// measureGrid produces a mid-size Grid trace for the pipeline micro-
+// benchmarks.
+func measureGrid(b *testing.B, threads int) *Trace {
+	b.Helper()
+	g, err := benchmarks.ByName("grid")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := core.Measure(g.Factory(benchmarks.Size{N: 32, Iters: 60})(threads), core.MeasureOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkMeasurement times the instrumented 1-processor run itself.
+func BenchmarkMeasurement(b *testing.B) {
+	g, err := benchmarks.ByName("grid")
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := g.Factory(benchmarks.Size{N: 32, Iters: 60})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Measure(f(16), core.MeasureOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTranslation times trace translation on a Grid trace.
+func BenchmarkTranslation(b *testing.B) {
+	tr := measureGrid(b, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := translate.Translate(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tr.Events))/1000, "kevents")
+}
+
+// BenchmarkSimulation times the trace-driven simulation on a Grid trace.
+func BenchmarkSimulation(b *testing.B) {
+	tr := measureGrid(b, 16)
+	pt, err := translate.Translate(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := machine.GenericDM().Config
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Simulate(pt, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(pt.Events())/1000, "kevents")
+}
+
+// BenchmarkFullPipeline times measure→translate→simulate end to end.
+func BenchmarkFullPipeline(b *testing.B) {
+	g, err := benchmarks.ByName("grid")
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := g.Factory(benchmarks.Size{N: 32, Iters: 60})
+	cfg := machine.GenericDM().Config
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(f(16), core.MeasureOptions{SizeMode: pcxx.ActualSize}, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProfileAnalyze times the performance-debugging analyzer on an
+// extrapolated Grid trace.
+func BenchmarkProfileAnalyze(b *testing.B) {
+	tr := measureGrid(b, 16)
+	cfg := machine.GenericDM().Config
+	cfg.EmitTrace = true
+	out, err := core.Extrapolate(tr, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := profile.Analyze(out.Result.Trace); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(out.Result.Trace.Events))/1000, "kevents")
+}
+
+// BenchmarkTimelineBuild times timeline construction on the same trace.
+func BenchmarkTimelineBuild(b *testing.B) {
+	tr := measureGrid(b, 16)
+	cfg := machine.GenericDM().Config
+	cfg.EmitTrace = true
+	out, err := core.Extrapolate(tr, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := timeline.Build(out.Result.Trace); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceCodec times the binary codec round trip.
+func BenchmarkTraceCodec(b *testing.B) {
+	tr := measureGrid(b, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := trace.WriteBinary(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := trace.ReadBinary(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(37 * len(tr.Events)))
+}

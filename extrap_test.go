@@ -1,0 +1,62 @@
+package extrap
+
+import (
+	"testing"
+
+	"extrap/internal/pcxx"
+	"extrap/internal/vtime"
+)
+
+// TestFacadePipeline exercises the public API end to end.
+func TestFacadePipeline(t *testing.T) {
+	const threads = 4
+	p := Program{
+		Name:    "facade-test",
+		Threads: threads,
+		Setup: func(rt *pcxx.Runtime) func(*pcxx.Thread) {
+			c := pcxx.PerThread[float64](rt, "c", 32)
+			return func(th *pcxx.Thread) {
+				*c.Local(th, th.ID()) = float64(th.ID())
+				th.Barrier()
+				th.Compute(100 * vtime.Microsecond)
+				_ = c.Read(th, (th.ID()+1)%threads)
+				th.Barrier()
+			}
+		},
+	}
+	env, err := Environment("generic-dm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(p, MeasureOptions{}, env.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.TotalTime <= 0 {
+		t.Fatal("no predicted time")
+	}
+	if out.Result.TotalTime < out.Parallel.Duration() {
+		t.Fatalf("prediction %v below ideal %v", out.Result.TotalTime, out.Parallel.Duration())
+	}
+}
+
+func TestFacadeInventory(t *testing.T) {
+	envs := Environments()
+	if len(envs) != 4 {
+		t.Fatalf("Environments() = %d entries", len(envs))
+	}
+	names := BenchmarkNames()
+	if len(names) != 8 {
+		t.Fatalf("BenchmarkNames() = %v", names)
+	}
+	if _, err := Environment("bogus"); err == nil {
+		t.Error("unknown environment accepted")
+	}
+}
+
+func TestFacadeSpeedup(t *testing.T) {
+	sp := Speedup([]Point{{Procs: 1, Time: 100}, {Procs: 2, Time: 50}})
+	if sp[1] != 2 {
+		t.Fatalf("speedup = %v", sp)
+	}
+}

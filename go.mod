@@ -1,0 +1,3 @@
+module extrap
+
+go 1.22

@@ -1,0 +1,130 @@
+package benchmarks
+
+import (
+	"testing"
+
+	"extrap/internal/core"
+	"extrap/internal/trace"
+)
+
+// smallSizes gives each benchmark a fast, verification-friendly size.
+func smallSize(name string) Size {
+	switch name {
+	case "embar":
+		return Size{N: 10, Verify: true} // 1024 samples
+	case "cyclic":
+		return Size{N: 128, Verify: true}
+	case "sparse":
+		return Size{N: 96, Iters: 8, Verify: true}
+	case "grid":
+		return Size{N: 16, Iters: 12, Verify: true}
+	case "mgrid":
+		return Size{N: 16, Iters: 2, Verify: true}
+	case "poisson":
+		return Size{N: 16, Verify: true}
+	case "sort":
+		return Size{N: 256, Verify: true}
+	case "matmul":
+		return Size{N: 12, Verify: true}
+	}
+	return Size{N: 16, Verify: true}
+}
+
+// TestAllBenchmarksVerify runs every registered benchmark at several
+// thread counts with the built-in verification enabled: the parallel
+// result must match the sequential reference.
+func TestAllBenchmarksVerify(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			f := b.Factory(smallSize(b.Name()))
+			for _, n := range []int{1, 2, 4, 8} {
+				if _, err := core.Measure(f(n), core.MeasureOptions{}); err != nil {
+					t.Fatalf("%s with %d threads: %v", b.Name(), n, err)
+				}
+			}
+		})
+	}
+}
+
+// TestBenchmarkTraceShape checks structural properties of the measurement
+// traces: valid, with barriers, and (for the communicating benchmarks)
+// remote reads.
+func TestBenchmarkTraceShape(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			sz := smallSize(b.Name())
+			sz.Verify = false
+			tr, err := core.Measure(b.Factory(sz)(4), core.MeasureOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("invalid trace: %v", err)
+			}
+			s := trace.ComputeStats(tr)
+			if s.Barriers == 0 {
+				t.Error("no barriers recorded")
+			}
+			if b.Name() != "embar" && s.RemoteReads == 0 {
+				t.Errorf("%s: no remote reads at 4 threads", b.Name())
+			}
+			if s.RemoteWrites != 0 {
+				t.Errorf("%s: suite benchmarks must not use remote writes (found %d)",
+					b.Name(), s.RemoteWrites)
+			}
+		})
+	}
+}
+
+// TestSuiteOrder checks the Table 2 ordering and registry consistency.
+func TestSuiteOrder(t *testing.T) {
+	suite := Suite()
+	want := []string{"embar", "cyclic", "sparse", "grid", "mgrid", "poisson", "sort"}
+	if len(suite) != len(want) {
+		t.Fatalf("Suite() has %d entries", len(suite))
+	}
+	for i, b := range suite {
+		if b.Name() != want[i] {
+			t.Errorf("Suite()[%d] = %q, want %q", i, b.Name(), want[i])
+		}
+		if b.Description() == "" {
+			t.Errorf("%s has no description", b.Name())
+		}
+		if b.DefaultSize().N == 0 {
+			t.Errorf("%s has no default size", b.Name())
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName accepted unknown benchmark")
+	}
+}
+
+// TestTraceDeterminism runs each benchmark twice and requires identical
+// traces.
+func TestTraceDeterminism(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			sz := smallSize(b.Name())
+			sz.Verify = false
+			run := func() *trace.Trace {
+				tr, err := core.Measure(b.Factory(sz)(4), core.MeasureOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return tr
+			}
+			a, bb := run(), run()
+			if len(a.Events) != len(bb.Events) {
+				t.Fatalf("event counts differ: %d vs %d", len(a.Events), len(bb.Events))
+			}
+			for i := range a.Events {
+				if a.Events[i] != bb.Events[i] {
+					t.Fatalf("traces diverge at event %d", i)
+				}
+			}
+		})
+	}
+}

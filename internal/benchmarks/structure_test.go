@@ -1,0 +1,160 @@
+package benchmarks
+
+// Structure tests pin each benchmark's communication/synchronization
+// shape: barrier counts and remote-access counts as functions of the
+// problem size and thread count. They catch accidental changes to the
+// programs' parallel structure that correctness checks alone would miss
+// (a benchmark can compute the right answer with the wrong trace).
+
+import (
+	"testing"
+
+	"extrap/internal/core"
+	"extrap/internal/trace"
+)
+
+// statsOf measures a benchmark and returns its trace statistics.
+func statsOf(t *testing.T, name string, size Size, threads int) trace.Stats {
+	t.Helper()
+	b, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size.Verify = false
+	tr, err := core.Measure(b.Factory(size)(threads), core.MeasureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace.ComputeStats(tr)
+}
+
+func TestGridBarrierFormula(t *testing.T) {
+	// Grid: 1 setup barrier + 2 per Jacobi sweep.
+	for _, iters := range []int{10, 50} {
+		s := statsOf(t, "grid", Size{N: 16, Iters: iters}, 4)
+		want := int64(1 + 2*iters)
+		if s.Barriers != want {
+			t.Errorf("iters=%d: barriers = %d, want %d", iters, s.Barriers, want)
+		}
+	}
+}
+
+func TestGridRemoteReadFormula(t *testing.T) {
+	// On a 2×2 tile grid each used thread has exactly 2 neighbors: 8
+	// strip reads per sweep in total.
+	const iters = 10
+	s := statsOf(t, "grid", Size{N: 16, Iters: iters}, 4)
+	if want := int64(8 * iters); s.RemoteReads != want {
+		t.Errorf("remote reads = %d, want %d", s.RemoteReads, want)
+	}
+	// One thread: no neighbors, no remote reads.
+	s1 := statsOf(t, "grid", Size{N: 16, Iters: iters}, 1)
+	if s1.RemoteReads != 0 {
+		t.Errorf("1-thread grid has %d remote reads", s1.RemoteReads)
+	}
+}
+
+func TestCyclicBarrierFormula(t *testing.T) {
+	// Cyclic on m=2^q rows: 1 init barrier + per forward level (snapshot
+	// barrier + level barrier) × q + back-substitution barriers (q+1).
+	m := 64 // q = 6
+	s := statsOf(t, "cyclic", Size{N: m, Iters: 2}, 4)
+	q := int64(6)
+	want := 1 + 2*q + (q + 1)
+	if s.Barriers != want {
+		t.Errorf("barriers = %d, want %d", s.Barriers, want)
+	}
+}
+
+func TestSortStageFormula(t *testing.T) {
+	// Bitonic over p=2^k thread blocks: k(k+1)/2 merge stages, each with
+	// a snapshot barrier and an update barrier, plus 1 after local sort.
+	for _, threads := range []int{2, 4, 8} {
+		s := statsOf(t, "sort", Size{N: 512}, threads)
+		k := int64(0)
+		for 1<<k < threads {
+			k++
+		}
+		stages := k * (k + 1) / 2
+		want := 1 + 2*stages
+		if s.Barriers != want {
+			t.Errorf("threads=%d: barriers = %d, want %d", threads, s.Barriers, want)
+		}
+		// Every thread reads its partner's whole block each stage.
+		if wantReads := stages * int64(threads); s.RemoteReads != wantReads {
+			t.Errorf("threads=%d: remote reads = %d, want %d", threads, s.RemoteReads, wantReads)
+		}
+	}
+}
+
+func TestEmbarMinimalCommunication(t *testing.T) {
+	// Embar's only communication is the log-tree tally reduction:
+	// (n−1) rounds of 2 reads each (bins + sums).
+	for _, threads := range []int{2, 4, 8} {
+		s := statsOf(t, "embar", Size{N: 8}, threads)
+		if want := int64(2 * (threads - 1)); s.RemoteReads != want {
+			t.Errorf("threads=%d: remote reads = %d, want %d", threads, s.RemoteReads, want)
+		}
+	}
+}
+
+func TestPoissonAllToAllFormula(t *testing.T) {
+	// Two transposes, each reading every other thread's block once.
+	for _, threads := range []int{2, 4, 8} {
+		s := statsOf(t, "poisson", Size{N: 16}, threads)
+		if want := int64(2 * threads * (threads - 1)); s.RemoteReads != want {
+			t.Errorf("threads=%d: remote reads = %d, want %d", threads, s.RemoteReads, want)
+		}
+		if s.Barriers != 5 {
+			t.Errorf("threads=%d: barriers = %d, want 5", threads, s.Barriers)
+		}
+	}
+}
+
+func TestSparseGatherBounded(t *testing.T) {
+	// The gather phase reads each remote owner at most once per CG
+	// iteration: remote reads ≤ iters · threads · (threads−1), and far
+	// fewer than the per-entry count (≈ nnz · iters).
+	const iters, n = 6, 4
+	s := statsOf(t, "sparse", Size{N: 256, Iters: iters}, n)
+	// Gathers: ≤ n(n−1) per iteration. Reductions: 3 per iteration plus
+	// the initial one, each costing ≤ 2(n−1) reads (tree + broadcast).
+	maxBulk := int64(iters*n*(n-1) + (3*iters+1)*2*(n-1))
+	if s.RemoteReads > maxBulk {
+		t.Errorf("remote reads = %d exceed bulk bound %d", s.RemoteReads, maxBulk)
+	}
+	// And the whole point of the gather: far below per-entry reads
+	// (~nnz × iters ≈ 9000 for this size).
+	if s.RemoteReads > 1000 {
+		t.Errorf("remote reads = %d suggest per-entry communication returned", s.RemoteReads)
+	}
+	if s.RemoteReads == 0 {
+		t.Error("sparse gathered nothing")
+	}
+}
+
+func TestMgridLevelsPresent(t *testing.T) {
+	// 32→4 gives 4 levels; every level contributes smoothing barriers,
+	// so a V-cycle has far more barriers than a flat Jacobi of the same
+	// sweep count.
+	s := statsOf(t, "mgrid", Size{N: 32, Iters: 1}, 4)
+	// Per V-cycle: levels 32,16,8 do pre(2)+post(1) smooth sweeps × 2
+	// barriers + residual(1) + restrict(1) + prolong(1); coarsest does 10
+	// sweeps × 2. Plus 1 init barrier.
+	want := int64(1 + 3*(3*2+3) + 10*2)
+	if s.Barriers != want {
+		t.Errorf("barriers = %d, want %d", s.Barriers, want)
+	}
+}
+
+func TestMatmulEventScaling(t *testing.T) {
+	// Matmul's barrier count per r-iteration: broadcast + multiply +
+	// segment + (pc−1) folds + result = 4 + pc − 1... pinned here via
+	// total: n iterations × (4 + pc) barriers + 2 setup.
+	s := statsOf(t, "matmul", Size{N: 8}, 4) // pc = 2
+	perIter := int64(4 + 2 - 1)
+	want := 2 + 8*perIter
+	if s.Barriers != want {
+		t.Errorf("barriers = %d, want %d", s.Barriers, want)
+	}
+}

@@ -1,0 +1,137 @@
+// Package core is the extrapolation pipeline — the paper's primary
+// contribution assembled from the substrates: measure an n-thread program
+// on one (virtual) processor, translate the trace to an idealized
+// n-processor timescale, and simulate the target environment to predict
+// performance.
+//
+//	Program ──Measure──▶ Trace ──Translate──▶ ParallelTrace ──Extrapolate──▶ Result
+//
+// The package also provides the processor-scaling sweep driver used by
+// every experiment.
+package core
+
+import (
+	"fmt"
+
+	"extrap/internal/metrics"
+	"extrap/internal/pcxx"
+	"extrap/internal/sim"
+	"extrap/internal/trace"
+	"extrap/internal/translate"
+	"extrap/internal/vtime"
+)
+
+// Program is an instrumentable data-parallel program: Setup registers
+// collections against the runtime and returns the SPMD body.
+type Program struct {
+	// Name identifies the program in reports.
+	Name string
+	// Threads is the thread count n the program is built for.
+	Threads int
+	// Setup registers collections and returns the per-thread body.
+	Setup func(rt *pcxx.Runtime) func(*pcxx.Thread)
+}
+
+// MeasureOptions configures the 1-processor measurement run.
+type MeasureOptions struct {
+	// Cost is the measurement host's computation cost model; the zero
+	// value means the Sun-4 model.
+	Cost pcxx.CostModel
+	// EventOverhead is the per-event instrumentation cost to charge (and
+	// compensate during translation).
+	EventOverhead vtime.Time
+	// SizeMode selects remote transfer-size attribution.
+	SizeMode pcxx.SizeMode
+	// Seed feeds deterministic program randomness.
+	Seed uint64
+}
+
+// Measure runs the program under the instrumented 1-processor runtime and
+// returns the merged measurement trace (performance information PI₁).
+func Measure(p Program, opts MeasureOptions) (*trace.Trace, error) {
+	if p.Setup == nil {
+		return nil, fmt.Errorf("core: program %q has no Setup", p.Name)
+	}
+	if p.Threads <= 0 {
+		return nil, fmt.Errorf("core: program %q has invalid thread count %d", p.Name, p.Threads)
+	}
+	cfg := pcxx.Config{
+		Threads:       p.Threads,
+		Cost:          opts.Cost,
+		EventOverhead: opts.EventOverhead,
+		SizeMode:      opts.SizeMode,
+		Seed:          opts.Seed,
+	}
+	if cfg.Cost == (pcxx.CostModel{}) {
+		cfg.Cost = pcxx.Sun4()
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 0x5eed
+	}
+	rt := pcxx.NewRuntime(cfg)
+	body := p.Setup(rt)
+	tr, err := rt.Run(body)
+	if err != nil {
+		return nil, fmt.Errorf("core: measuring %q: %w", p.Name, err)
+	}
+	return tr, nil
+}
+
+// Outcome bundles every artifact of one full extrapolation.
+type Outcome struct {
+	// Measurement is the merged 1-processor trace (PI₁).
+	Measurement *trace.Trace
+	// Parallel is the translated idealized trace.
+	Parallel *translate.ParallelTrace
+	// Result is the predicted performance in the target environment
+	// (PI₂ᵖ and PM₂ᵖ).
+	Result *sim.Result
+}
+
+// Extrapolate translates a measurement trace and simulates it against the
+// target environment.
+func Extrapolate(tr *trace.Trace, cfg sim.Config) (*Outcome, error) {
+	pt, err := translate.Translate(tr)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Simulate(pt, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{Measurement: tr, Parallel: pt, Result: res}, nil
+}
+
+// Run measures the program and extrapolates it to the target environment
+// in one call.
+func Run(p Program, opts MeasureOptions, cfg sim.Config) (*Outcome, error) {
+	tr, err := Measure(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	return Extrapolate(tr, cfg)
+}
+
+// ProgramFactory builds a program for a given thread count — how
+// benchmarks parameterize processor-scaling sweeps.
+type ProgramFactory func(threads int) Program
+
+// SweepProcs measures the program at each thread count and extrapolates
+// each to the same number of processors under cfg, returning the scaling
+// series. The per-count measurement matches the paper's method: each
+// processor count gets its own n-thread, 1-processor measurement run.
+func SweepProcs(f ProgramFactory, opts MeasureOptions, cfg sim.Config, procCounts []int) ([]metrics.Point, error) {
+	points := make([]metrics.Point, 0, len(procCounts))
+	for _, n := range procCounts {
+		p := f(n)
+		out, err := Run(p, opts, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("core: sweep at %d procs: %w", n, err)
+		}
+		points = append(points, metrics.Point{Procs: n, Time: out.Result.TotalTime})
+	}
+	return points, nil
+}
+
+// DefaultProcCounts is the paper's processor scaling ladder.
+func DefaultProcCounts() []int { return []int{1, 2, 4, 8, 16, 32} }

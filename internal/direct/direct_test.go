@@ -1,0 +1,201 @@
+package direct
+
+import (
+	"testing"
+
+	"extrap/internal/pcxx"
+	"extrap/internal/trace"
+	"extrap/internal/vtime"
+)
+
+// measure runs a simple program and returns its trace.
+func measure(t *testing.T, n int, body func(*pcxx.Thread)) *trace.Trace {
+	t.Helper()
+	rt := pcxx.NewRuntime(pcxx.DefaultConfig(n))
+	tr, err := rt.Run(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// commProgram builds a program with per-thread compute and one remote
+// read each.
+func commProgram(t *testing.T, n int, compute vtime.Time) *trace.Trace {
+	rt := pcxx.NewRuntime(pcxx.DefaultConfig(n))
+	c := pcxx.PerThread[float64](rt, "c", 256)
+	tr, err := rt.Run(func(th *pcxx.Thread) {
+		*c.Local(th, th.ID()) = 1
+		th.Barrier()
+		th.Compute(compute)
+		_ = c.Read(th, (th.ID()+1)%n)
+		th.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestZeroConfigEqualsIdealTime(t *testing.T) {
+	tr := measure(t, 4, func(th *pcxx.Thread) {
+		th.Compute(vtime.Time(th.ID()+1) * 100 * vtime.Microsecond)
+		th.Barrier()
+	})
+	cfg := Config{FlopScale: 1}
+	res, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With all costs zero the comparator reduces to the ideal parallel
+	// time: max compute = 400µs.
+	if res.TotalTime != 400*vtime.Microsecond {
+		t.Fatalf("TotalTime = %v, want 400µs", res.TotalTime)
+	}
+	if res.Barriers != 1 {
+		t.Fatalf("Barriers = %d", res.Barriers)
+	}
+}
+
+func TestFlopScale(t *testing.T) {
+	tr := measure(t, 2, func(th *pcxx.Thread) {
+		th.Compute(100 * vtime.Microsecond)
+		th.Barrier()
+	})
+	half, err := Run(tr, Config{FlopScale: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(tr, Config{FlopScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half.TotalTime*2 != full.TotalTime {
+		t.Fatalf("scaling broken: %v vs %v", half.TotalTime, full.TotalTime)
+	}
+}
+
+func TestMessageCosts(t *testing.T) {
+	tr := commProgram(t, 2, 10*vtime.Microsecond)
+	base, err := Run(tr, Config{FlopScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	costly, err := Run(tr, Config{FlopScale: 1, MsgBase: 50 * vtime.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if costly.TotalTime <= base.TotalTime {
+		t.Fatalf("message cost had no effect: %v vs %v", costly.TotalTime, base.TotalTime)
+	}
+	if costly.Messages != 2 {
+		t.Fatalf("Messages = %d, want 2", costly.Messages)
+	}
+}
+
+func TestBarrierCostScalesWithLog(t *testing.T) {
+	cost := func(n int) vtime.Time {
+		tr := measure(t, n, func(th *pcxx.Thread) { th.Barrier() })
+		res, err := Run(tr, Config{FlopScale: 1,
+			BarrierBase:     10 * vtime.Microsecond,
+			BarrierPerLevel: 5 * vtime.Microsecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalTime
+	}
+	// Dissemination barrier: base + levels·log2(n).
+	if got, want := cost(2), 15*vtime.Microsecond; got != want {
+		t.Errorf("n=2: %v, want %v", got, want)
+	}
+	if got, want := cost(16), 30*vtime.Microsecond; got != want {
+		t.Errorf("n=16: %v, want %v", got, want)
+	}
+}
+
+func TestServiceDebtDelaysOwner(t *testing.T) {
+	// Thread 1 reads thread 0's element before the barrier; with a
+	// service cost, thread 0's barrier entry is delayed by the debt.
+	tr := commProgram(t, 2, 10*vtime.Microsecond)
+	base, err := Run(tr, Config{FlopScale: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	debt, err := Run(tr, Config{FlopScale: 1, ServiceCost: 40 * vtime.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if debt.TotalTime <= base.TotalTime {
+		t.Fatalf("service debt had no effect: %v vs %v", debt.TotalTime, base.TotalTime)
+	}
+}
+
+func TestLoadFactorInflatesBusyEpochs(t *testing.T) {
+	tr := commProgram(t, 8, 10*vtime.Microsecond)
+	calm, err := Run(tr, Config{FlopScale: 1, MsgBase: 20 * vtime.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Run(tr, Config{FlopScale: 1, MsgBase: 20 * vtime.Microsecond, LoadFactor: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.TotalTime <= calm.TotalTime {
+		t.Fatalf("load factor had no effect: %v vs %v", loaded.TotalTime, calm.TotalTime)
+	}
+}
+
+func TestJitterDeterministic(t *testing.T) {
+	tr := commProgram(t, 4, 100*vtime.Microsecond)
+	cfg := CM5()
+	a, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalTime != b.TotalTime {
+		t.Fatalf("same-seed runs differ: %v vs %v", a.TotalTime, b.TotalTime)
+	}
+	cfg.Seed++
+	c, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalTime == a.TotalTime {
+		t.Error("different seeds produced identical jittered results")
+	}
+}
+
+func TestRejectsNegativeConfig(t *testing.T) {
+	tr := measure(t, 2, func(th *pcxx.Thread) { th.Barrier() })
+	if _, err := Run(tr, Config{FlopScale: -1}); err == nil {
+		t.Error("negative FlopScale accepted")
+	}
+}
+
+func TestRejectsMalformedTrace(t *testing.T) {
+	bad := trace.New(2)
+	bad.Append(trace.Event{Kind: trace.KindBarrierExit, Thread: 0})
+	if _, err := Run(bad, CM5()); err == nil {
+		t.Error("malformed trace accepted")
+	}
+}
+
+func TestCM5PresetRuns(t *testing.T) {
+	tr := commProgram(t, 8, 500*vtime.Microsecond)
+	res, err := Run(tr, CM5())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTime <= 0 {
+		t.Fatal("no time simulated")
+	}
+	for i, ft := range res.PerThread {
+		if ft <= 0 || ft > res.TotalTime {
+			t.Errorf("thread %d finish %v out of range", i, ft)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+
+	"extrap/internal/benchmarks"
+	"extrap/internal/machine"
+	"extrap/internal/pcxx"
+	"extrap/internal/report"
+	"extrap/internal/sim"
+	"extrap/internal/vtime"
+)
+
+func init() {
+	register(Experiment{ID: "ablation-barrier", Title: "Barrier algorithm ablation (linear vs tree vs hardware)", Run: runAblationBarrier})
+	register(Experiment{ID: "ablation-contention", Title: "Contention model ablation (on vs off)", Run: runAblationContention})
+	register(Experiment{ID: "ablation-multithread", Title: "Multithreading extension (n threads on m ≤ n processors)", Run: runAblationMultithread})
+}
+
+// runAblationBarrier swaps the barrier algorithm — the substitution the
+// paper explicitly contemplates ("we can easily substitute other barrier
+// algorithms, e.g. logarithmic") — on the barrier-heavy Cyclic benchmark.
+func runAblationBarrier(opts Options) (*Output, error) {
+	cy, err := benchmarks.ByName("cyclic")
+	if err != nil {
+		return nil, err
+	}
+	out := &Output{ID: "ablation-barrier", Title: "Barrier algorithms"}
+	fig := report.Figure{
+		Title: "Cyclic execution time by barrier algorithm", XLabel: "procs", YLabel: "ms", X: opts.procs(),
+	}
+	algorithms := []struct {
+		name string
+		alg  sim.BarrierAlgorithm
+	}{
+		{"linear (paper)", sim.LinearBarrier},
+		{"logarithmic tree", sim.TreeBarrier},
+		{"hardware (CM-5 control net)", sim.HardwareBarrier},
+	}
+	for _, a := range algorithms {
+		cfg := machine.GenericDM().Config
+		cfg.Barrier.Algorithm = a.alg
+		cfg.Barrier.HardwareTime = 3 * vtime.Microsecond
+		points, err := sweep(cy.Factory(opts.size(cy)), pcxx.ActualSize, cfg, opts.procs())
+		if err != nil {
+			return nil, err
+		}
+		fig.Add(a.name, times(points))
+	}
+	fig.Notes = []string{"the linear master-slave barrier is an upper bound on synchronization cost (Section 3.3.3)"}
+	out.Figures = append(out.Figures, fig)
+	return out, nil
+}
+
+// runAblationContention toggles the analytical contention model on the
+// communication-heavy Sparse benchmark.
+func runAblationContention(opts Options) (*Output, error) {
+	sp, err := benchmarks.ByName("sparse")
+	if err != nil {
+		return nil, err
+	}
+	out := &Output{ID: "ablation-contention", Title: "Contention model"}
+	fig := report.Figure{
+		Title: "Sparse execution time with and without contention", XLabel: "procs", YLabel: "ms", X: opts.procs(),
+	}
+	for _, factor := range []float64{0, 0.05, 0.25} {
+		cfg := machine.GenericDM().Config
+		cfg.Comm.ContentionFactor = factor
+		points, err := sweep(sp.Factory(opts.size(sp)), pcxx.ActualSize, cfg, opts.procs())
+		if err != nil {
+			return nil, err
+		}
+		fig.Add(fmt.Sprintf("contention=%.2f", factor), times(points))
+	}
+	out.Figures = append(out.Figures, fig)
+	return out, nil
+}
+
+// runAblationMultithread exercises the Section 6 extension: extrapolating
+// an n-thread measurement to m < n processors with thread multiplexing.
+func runAblationMultithread(opts Options) (*Output, error) {
+	out := &Output{ID: "ablation-multithread", Title: "n threads on m processors"}
+	tab := report.Table{
+		Title:   "Embar and Grid: 16 threads multiplexed onto m processors",
+		Columns: []string{"benchmark", "m procs", "time", "speedup vs m=1"},
+	}
+	const threads = 16
+	for _, name := range []string{"embar", "grid"} {
+		b, err := benchmarks.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		var base vtime.Time
+		for _, m := range []int{1, 2, 4, 8, 16} {
+			cfg := machine.GenericDM().Config
+			cfg.Procs = m
+			cfg.ContextSwitchTime = 20 * vtime.Microsecond
+			points, err := sweep(b.Factory(opts.size(b)), pcxx.ActualSize, cfg, []int{threads})
+			if err != nil {
+				return nil, err
+			}
+			t := points[0].Time
+			if m == 1 {
+				base = t
+			}
+			tab.AddRow(name, m, t.String(), fmt.Sprintf("%.2f", float64(base)/float64(t)))
+		}
+	}
+	tab.Notes = []string{"the measurement is a single 16-thread run; only the simulated processor count changes"}
+	out.Tables = append(out.Tables, tab)
+	return out, nil
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+
+	"extrap/internal/benchmarks"
+	"extrap/internal/machine"
+	"extrap/internal/report"
+	"extrap/internal/sim"
+	"extrap/internal/sim/network"
+	"extrap/internal/vtime"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "ablation-cluster",
+		Title: "Multi-cluster extension: shared memory within clusters, messages between",
+		Run:   runAblationCluster,
+	})
+}
+
+// runAblationCluster exercises the multi-clustered system the paper's
+// Section 3.3.2 anticipates ("a multi-clustered system with shared memory
+// access within a cluster and message passing between clusters"): the
+// Grid benchmark on 16 processors grouped into clusters of 1 (pure
+// distributed memory), 2, 4, 8, and 16 (pure shared memory), under both
+// thread placements.
+func runAblationCluster(opts Options) (*Output, error) {
+	grid, err := benchmarks.ByName("grid")
+	if err != nil {
+		return nil, err
+	}
+	size := opts.size(grid)
+	threads := 16
+	if opts.Quick {
+		threads = 8
+	}
+
+	intra := network.Config{
+		StartupTime:      2 * vtime.Microsecond,
+		ByteTransferTime: 5 * vtime.Nanosecond, // 200 MB/s shared memory
+		MsgConstructTime: 500 * vtime.Nanosecond,
+		RecvOverhead:     1 * vtime.Microsecond,
+		RecvOccupancy:    200 * vtime.Nanosecond,
+		Topology:         network.Bus{},
+		RequestBytes:     16,
+	}
+
+	out := &Output{ID: "ablation-cluster", Title: "Cluster size sweep (Grid)"}
+	tab := report.Table{
+		Title: fmt.Sprintf("Grid, %d threads on %d processors: cluster size × placement", threads, threads/2),
+		Columns: []string{"cluster size", "placement", "time",
+			"network msgs", "note"},
+	}
+	tr, err := measureOnce(grid, size, threads)
+	if err != nil {
+		return nil, err
+	}
+	// Multiplex two threads per processor so placement has something to
+	// decide (with a 1:1 mapping both policies are the identity).
+	procs := threads / 2
+	for _, cs := range []int{1, 2, 4, procs} {
+		if cs > procs {
+			continue
+		}
+		for _, pl := range []sim.Placement{sim.BlockPlacement, sim.CyclicPlacement} {
+			cfg := machine.GenericDM().Config
+			cfg.Procs = procs
+			cfg.ClusterSize = cs
+			cfg.IntraComm = intra
+			cfg.Placement = pl
+			cfg.ContextSwitchTime = 10 * vtime.Microsecond
+			o, err := extrapolateTrace(tr, cfg)
+			if err != nil {
+				return nil, err
+			}
+			note := ""
+			switch {
+			case cs == 1:
+				note = "pure distributed memory"
+			case cs >= procs:
+				note = "pure shared memory"
+			}
+			tab.AddRow(cs, pl.String(), o.TotalTime.String(), o.Net.Messages, note)
+		}
+	}
+	tab.Notes = []string{
+		"larger clusters convert inter-processor reads into cheap shared-memory accesses;",
+		"placement decides which neighbors land in the same cluster",
+	}
+	out.Tables = append(out.Tables, tab)
+	return out, nil
+}

@@ -1,0 +1,151 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (Section 4), each regenerating the corresponding
+// rows/series from scratch: measurement runs, trace translation, and
+// trace-driven simulation with the experiment's parameter set. The
+// drivers are used by the CLI (`extrap experiment <id>`), by the
+// root-level benchmark harness, and by EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"extrap/internal/benchmarks"
+	"extrap/internal/core"
+	"extrap/internal/metrics"
+	"extrap/internal/pcxx"
+	"extrap/internal/report"
+	"extrap/internal/sim"
+	"extrap/internal/trace"
+)
+
+// Options controls an experiment run.
+type Options struct {
+	// Procs is the processor ladder; nil means the paper's
+	// {1, 2, 4, 8, 16, 32}.
+	Procs []int
+	// Quick shrinks problem sizes and the ladder for fast smoke runs
+	// (used by tests); results keep their shape but not their magnitude.
+	Quick bool
+}
+
+func (o Options) procs() []int {
+	if o.Procs != nil {
+		return o.Procs
+	}
+	if o.Quick {
+		return []int{1, 2, 4, 8}
+	}
+	return core.DefaultProcCounts()
+}
+
+// size returns the benchmark size for this run.
+func (o Options) size(b benchmarks.Benchmark) benchmarks.Size {
+	if !o.Quick {
+		return b.DefaultSize()
+	}
+	switch b.Name() {
+	case "embar":
+		return benchmarks.Size{N: 13}
+	case "cyclic":
+		return benchmarks.Size{N: 256, Iters: 8}
+	case "sparse":
+		return benchmarks.Size{N: 128, Iters: 6}
+	case "grid":
+		return benchmarks.Size{N: 24, Iters: 40}
+	case "mgrid":
+		return benchmarks.Size{N: 32, Iters: 2}
+	case "poisson":
+		return benchmarks.Size{N: 24}
+	case "sort":
+		return benchmarks.Size{N: 1024}
+	case "matmul":
+		return benchmarks.Size{N: 12}
+	}
+	return b.DefaultSize()
+}
+
+// Output is an experiment's rendered result set.
+type Output struct {
+	ID      string
+	Title   string
+	Tables  []report.Table
+	Figures []report.Figure
+}
+
+// Render writes every table and figure.
+func (o *Output) Render(w io.Writer) {
+	fmt.Fprintf(w, "=== %s: %s ===\n\n", o.ID, o.Title)
+	for i := range o.Tables {
+		o.Tables[i].Render(w)
+	}
+	for i := range o.Figures {
+		o.Figures[i].Render(w)
+	}
+}
+
+// Experiment is one registered driver.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Options) (*Output, error)
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns the registered experiments sorted by id.
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID returns the driver for an experiment id.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, ids())
+}
+
+func ids() []string {
+	var out []string
+	for _, e := range All() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// sweep measures a benchmark at each processor count and extrapolates it
+// under cfg (one measurement per count, as the paper did).
+func sweep(f core.ProgramFactory, mode pcxx.SizeMode, cfg sim.Config, procs []int) ([]metrics.Point, error) {
+	return core.SweepProcs(f, core.MeasureOptions{SizeMode: mode}, cfg, procs)
+}
+
+// measureOnce runs a single measurement of a benchmark.
+func measureOnce(b benchmarks.Benchmark, size benchmarks.Size, threads int) (*trace.Trace, error) {
+	return core.Measure(b.Factory(size)(threads), core.MeasureOptions{SizeMode: pcxx.ActualSize})
+}
+
+// extrapolateTrace simulates an existing trace under cfg.
+func extrapolateTrace(tr *trace.Trace, cfg sim.Config) (*sim.Result, error) {
+	out, err := core.Extrapolate(tr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return out.Result, nil
+}
+
+// times extracts the execution times (ms) of a point series.
+func times(points []metrics.Point) []float64 {
+	out := make([]float64, len(points))
+	for i, p := range points {
+		out[i] = p.Time.Millis()
+	}
+	return out
+}

@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick runs every registered experiment in quick mode:
+// they must complete, produce output, and render without error.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			out, err := e.Run(Options{Quick: true})
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(out.Tables)+len(out.Figures) == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+			var buf bytes.Buffer
+			out.Render(&buf)
+			if buf.Len() == 0 {
+				t.Fatalf("%s rendered nothing", e.ID)
+			}
+		})
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	want := []string{"ablation-barrier", "ablation-cluster", "ablation-contention",
+		"ablation-multithread", "ablation-overhead",
+		"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "table1", "table2", "table3"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registered %d experiments, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Errorf("experiment %d = %q, want %q", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("%s incomplete", e.ID)
+		}
+	}
+	if _, err := ByID("fig4"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Error("ByID accepted unknown id")
+	}
+}
+
+// TestFig4ExpectedShapes checks the paper's qualitative claims on the
+// quick-mode data: Embar's speedup is the best in the suite and
+// near-linear; Grid shows no improvement from 4 to 8 processors under
+// (BLOCK,BLOCK).
+func TestFig4ExpectedShapes(t *testing.T) {
+	out, err := runFig4(Options{Quick: true, Procs: []int{1, 2, 4, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	speed := out.Figures[0]
+	get := func(name string) []float64 {
+		for _, s := range speed.Series {
+			if s.Name == name {
+				return s.Values
+			}
+		}
+		t.Fatalf("series %q missing", name)
+		return nil
+	}
+	embar := get("embar")
+	if embar[3] < 6.0 {
+		t.Errorf("embar speedup at 8 procs = %.2f, want near-linear (≥6)", embar[3])
+	}
+	grid := get("grid")
+	// (BLOCK,BLOCK) idles 4 of 8 processors: speedup(8) ≈ speedup(4).
+	if grid[3] > grid[2]*1.15 {
+		t.Errorf("grid speedup improved 4→8 (%.2f → %.2f); expected the plateau", grid[2], grid[3])
+	}
+	for _, s := range speed.Series {
+		if embar[3] < s.Values[3]*0.99 {
+			t.Errorf("embar (%.2f) is not the best speedup at 8 procs (%s has %.2f)",
+				embar[3], s.Name, s.Values[3])
+		}
+	}
+}
+
+// TestFig5ExpectedShapes checks the investigation's outcome: actual-size
+// attribution recovers Grid speedup relative to the compiler estimate,
+// and ideal is the upper bound.
+func TestFig5ExpectedShapes(t *testing.T) {
+	out, err := runFig5(Options{Quick: true, Procs: []int{1, 2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var speed *map[string][]float64
+	_ = speed
+	series := map[string][]float64{}
+	for _, s := range out.Figures[1].Series {
+		series[s.Name] = s.Values
+	}
+	last := len(out.Figures[1].X) - 1
+	estimate := series["dm-20MB/s (estimate)"][last]
+	actual := series["dm-20MB/s (actual size)"][last]
+	ideal := series["ideal"][last]
+	if actual <= estimate {
+		t.Errorf("actual-size speedup (%.2f) not above estimate (%.2f)", actual, estimate)
+	}
+	if ideal < actual*0.98 {
+		t.Errorf("ideal speedup (%.2f) below actual-size (%.2f)", ideal, actual)
+	}
+}
+
+// TestFig9RankingAgreement requires the headline validation property: the
+// predicted best distribution matches the actual best for most processor
+// counts, with high rank correlation.
+func TestFig9RankingAgreement(t *testing.T) {
+	out, err := runFig9(Options{Quick: true, Procs: []int{1, 2, 4, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rank *struct{}
+	_ = rank
+	for _, tab := range out.Tables {
+		if !strings.Contains(tab.Title, "Ranking") {
+			continue
+		}
+		matches := 0
+		for _, row := range tab.Rows {
+			if row[3] == "yes" || row[3] == "tie" {
+				matches++
+			}
+		}
+		if matches < len(tab.Rows)-1 {
+			t.Errorf("predicted best matched actual best only %d/%d times:\n%v",
+				matches, len(tab.Rows), tab.Rows)
+		}
+	}
+}
+
+// TestFig7OptimumMoves: with the faster target processor the minimum-time
+// processor count must not increase for any startup value.
+func TestFig7OptimumMoves(t *testing.T) {
+	out, err := runFig7(Options{Quick: true, Procs: []int{1, 2, 4, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := map[string]map[string]int{}
+	for _, row := range out.Tables[0].Rows {
+		ratio, startup := row[0], row[1]
+		if best[startup] == nil {
+			best[startup] = map[string]int{}
+		}
+		var p int
+		if _, err := fmt.Sscanf(row[2], "%d", &p); err != nil {
+			t.Fatalf("bad best-procs cell %q", row[2])
+		}
+		best[startup][ratio] = p
+	}
+	for startup, byRatio := range best {
+		if byRatio["0.25"] > byRatio["1.00"] {
+			t.Errorf("startup %s: faster processor moved optimum UP (%d > %d)",
+				startup, byRatio["0.25"], byRatio["1.00"])
+		}
+	}
+}
+
+// TestFig8PolicyOrdering: no-interrupt is never strictly fastest on grid.
+func TestFig8PolicyOrdering(t *testing.T) {
+	out, err := runFig8(Options{Quick: true, Procs: []int{2, 4, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gridFig := out.Figures[1]
+	var noInt, interrupt []float64
+	for _, s := range gridFig.Series {
+		switch s.Name {
+		case "no-interrupt/poll":
+			noInt = s.Values
+		case "interrupt":
+			interrupt = s.Values
+		}
+	}
+	if noInt == nil || interrupt == nil {
+		t.Fatal("missing policy series")
+	}
+	for i := range noInt {
+		// Allow a small margin: at tiny quick-mode sizes the interrupt
+		// overhead can exceed the (short) no-interrupt waits.
+		if noInt[i] < interrupt[i]*0.97 {
+			t.Errorf("x=%d: no-interrupt (%.3f) clearly beat interrupt (%.3f)", gridFig.X[i], noInt[i], interrupt[i])
+		}
+	}
+}
+
+// TestFig6MipsRatioShapes: Embar times scale ≈2× per ratio step at small
+// processor counts (compute-bound region).
+func TestFig6MipsRatioShapes(t *testing.T) {
+	out, err := runFig6(Options{Quick: true, Procs: []int{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	embar := out.Figures[0]
+	v := map[string][]float64{}
+	for _, s := range embar.Series {
+		v[s.Name] = s.Values
+	}
+	slow, base, fast := v["MipsRatio=2.0"], v["MipsRatio=1.0"], v["MipsRatio=0.5"]
+	for i := range base {
+		if r := slow[i] / base[i]; r < 1.9 || r > 2.1 {
+			t.Errorf("point %d: 2.0/1.0 time ratio %.3f, want ≈2", i, r)
+		}
+		if r := base[i] / fast[i]; r < 1.8 || r > 2.2 {
+			t.Errorf("point %d: 1.0/0.5 time ratio %.3f, want ≈2", i, r)
+		}
+	}
+}
+
+// TestOverheadCompensationExperiment: the prediction column must not
+// drift as overhead grows.
+func TestOverheadCompensationExperiment(t *testing.T) {
+	out, err := runAblationOverhead(Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range out.Tables[0].Rows {
+		if row[4] != "+0.00%" {
+			t.Errorf("overhead %s: prediction drifted %s", row[0], row[4])
+		}
+	}
+}

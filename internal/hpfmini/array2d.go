@@ -1,0 +1,105 @@
+package hpfmini
+
+import (
+	"fmt"
+
+	"extrap/internal/pcxx"
+	"extrap/internal/pcxx/dist"
+)
+
+// Star is the HPF "*" directive: the dimension is not distributed.
+// (Declared here with the 2-D support; 1-D arrays take Block or Cyclic.)
+const Star Dist = 0xff
+
+// attrOf maps an HPF directive to the runtime's distribution attribute.
+func attrOf(d Dist) dist.Attr {
+	switch d {
+	case Cyclic:
+		return dist.Cyclic
+	case Star:
+		return dist.Whole
+	default:
+		return dist.Block
+	}
+}
+
+// Array2D is a distributed two-dimensional array of float64, declared
+// with per-dimension directives as in
+//
+//	!HPF$ DISTRIBUTE a(BLOCK, *)
+type Array2D struct {
+	name       string
+	rows, cols int
+	c          *pcxx.Collection2D[float64]
+	sh         *pcxx.Collection2D[float64]
+	m          *Machine
+}
+
+// Array2D declares a rows×cols distributed array.
+func (m *Machine) Array2D(name string, rows, cols int, rd, cd Dist) *Array2D {
+	d2 := dist.NewDist2D(rows, cols, m.rt.Threads(), attrOf(rd), attrOf(cd))
+	return &Array2D{
+		name: name, rows: rows, cols: cols,
+		c:  pcxx.NewCollection2D[float64](m.rt, name, d2, 8),
+		sh: pcxx.NewCollection2D[float64](m.rt, name+".shadow", d2, 8),
+		m:  m,
+	}
+}
+
+// Rows returns the row count.
+func (a *Array2D) Rows() int { return a.rows }
+
+// Cols returns the column count.
+func (a *Array2D) Cols() int { return a.cols }
+
+// At2 reads arr(i, j) inside a FORALL body or reduction.
+func (r Reader) At2(arr *Array2D, i, j int) float64 {
+	if i < 0 || i >= arr.rows || j < 0 || j >= arr.cols {
+		panic(fmt.Sprintf("hpfmini: %s(%d,%d) out of range %d×%d", arr.name, i, j, arr.rows, arr.cols))
+	}
+	return arr.c.Read(r.t, i, j)
+}
+
+// Forall2D assigns dst(i,j) = f(reader, i, j) with FORALL semantics (all
+// right-hand sides see pre-statement values; two-phase with a barrier).
+func Forall2D(t *pcxx.Thread, dst *Array2D, flopsPerElem int, f func(r Reader, i, j int) float64) {
+	r := Reader{t: t}
+	dst.c.ForOwned(t, func(i, j int) {
+		*dst.sh.Local(t, i, j) = f(r, i, j)
+		t.Flops(flopsPerElem)
+	})
+	t.Barrier()
+	dst.c.ForOwned(t, func(i, j int) {
+		*dst.c.Local(t, i, j) = *dst.sh.Local(t, i, j)
+	})
+	t.Mem(dst.c.Dist().LocalCount(t.ID()) * 8)
+	t.Barrier()
+}
+
+// Fill2D initializes dst(i,j) = f(i,j) locally and synchronizes.
+func Fill2D(t *pcxx.Thread, dst *Array2D, f func(i, j int) float64) {
+	dst.c.ForOwned(t, func(i, j int) {
+		*dst.c.Local(t, i, j) = f(i, j)
+	})
+	t.Mem(dst.c.Dist().LocalCount(t.ID()) * 8)
+	t.Barrier()
+}
+
+// Sum2D reduces the array to its total on every thread.
+func Sum2D(t *pcxx.Thread, a *Array2D) float64 {
+	local := 0.0
+	a.c.ForOwned(t, func(i, j int) {
+		local += *a.c.Local(t, i, j)
+	})
+	t.Flops(a.c.Dist().LocalCount(t.ID()))
+	*a.m.partials.Local(t, t.ID()) = local
+	return pcxx.AllReduceSum(t, a.m.partials)
+}
+
+// Get2 reads a single element on every thread.
+func Get2(t *pcxx.Thread, a *Array2D, i, j int) float64 {
+	t.Barrier()
+	v := a.c.Read(t, i, j)
+	t.Barrier()
+	return v
+}

@@ -1,0 +1,180 @@
+// Package hpfmini is a second, HPF-flavored language front end for the
+// extrapolation pipeline — the direction the paper's conclusion proposes
+// ("Another direction is to apply this work to other language systems,
+// like HPF"). It offers distributed arrays with HPF-style distribution
+// directives and FORALL-semantics elementwise assignment, compiled onto
+// the same instrumented pcxx runtime, so any hpfmini program produces the
+// event vocabulary (barriers, remote element accesses) that translation
+// and simulation consume.
+//
+// The execution model is exactly the deterministic one Section 5 requires:
+// FORALL evaluates every right-hand side against the pre-statement array
+// values (two-phase with an intervening barrier), owner-computes writes,
+// and reductions are tree-structured reads — no remote writes, no
+// timing-dependent behavior.
+package hpfmini
+
+import (
+	"fmt"
+	"math"
+
+	"extrap/internal/pcxx"
+	"extrap/internal/pcxx/dist"
+)
+
+// Dist is an HPF distribution directive for a one-dimensional array.
+type Dist uint8
+
+const (
+	// Block corresponds to !HPF$ DISTRIBUTE (BLOCK).
+	Block Dist = iota
+	// Cyclic corresponds to !HPF$ DISTRIBUTE (CYCLIC).
+	Cyclic
+)
+
+func (d Dist) String() string {
+	if d == Cyclic {
+		return "CYCLIC"
+	}
+	return "BLOCK"
+}
+
+// Machine wraps a pcxx runtime for array creation (the "compiler" half:
+// arrays must be declared before the SPMD body runs).
+type Machine struct {
+	rt       *pcxx.Runtime
+	partials *pcxx.Collection[float64]
+	scratch  map[*Array]*pcxx.Collection[float64]
+}
+
+// NewMachine prepares a front end over the runtime.
+func NewMachine(rt *pcxx.Runtime) *Machine {
+	return &Machine{
+		rt:       rt,
+		partials: pcxx.PerThread[float64](rt, "hpf-partials", 8),
+		scratch:  make(map[*Array]*pcxx.Collection[float64]),
+	}
+}
+
+// Array is a distributed one-dimensional array of float64.
+type Array struct {
+	name string
+	n    int
+	c    *pcxx.Collection[float64]
+	m    *Machine
+}
+
+// Array declares a distributed array (8-byte scalar elements, so the
+// compiler estimate and actual transfer sizes coincide).
+func (m *Machine) Array(name string, n int, d Dist) *Array {
+	var dd dist.Distribution
+	switch d {
+	case Cyclic:
+		dd = dist.NewCyclic(n, m.rt.Threads())
+	default:
+		dd = dist.NewBlock(n, m.rt.Threads())
+	}
+	a := &Array{name: name, n: n, c: pcxx.NewCollection[float64](m.rt, name, dd, 8), m: m}
+	// FORALL needs a shadow buffer with identical distribution.
+	m.scratch[a] = pcxx.NewCollection[float64](m.rt, name+".shadow", dd, 8)
+	return a
+}
+
+// Len returns the array length.
+func (a *Array) Len() int { return a.n }
+
+// Name returns the declared name.
+func (a *Array) Name() string { return a.name }
+
+// Reader provides right-hand-side element access inside FORALL bodies and
+// reductions; reads of non-owned elements become remote access events.
+type Reader struct {
+	t *pcxx.Thread
+}
+
+// At reads arr[i] (pre-statement value inside a Forall).
+func (r Reader) At(arr *Array, i int) float64 {
+	if i < 0 || i >= arr.n {
+		panic(fmt.Sprintf("hpfmini: %s[%d] out of range [0,%d)", arr.name, i, arr.n))
+	}
+	return arr.c.Read(r.t, i)
+}
+
+// Forall assigns dst[i] = f(reader, i) for every i, with HPF FORALL
+// semantics: all right-hand sides see the arrays' pre-statement values.
+// Implementation: owner-computes evaluation into a shadow buffer, a global
+// barrier, then a local copy-back and a closing barrier. Each thread
+// charges flopsPerElem for every element it owns.
+func Forall(t *pcxx.Thread, dst *Array, flopsPerElem int, f func(r Reader, i int) float64) {
+	sh := dst.m.scratch[dst]
+	r := Reader{t: t}
+	dst.c.ForOwned(t, func(i int) {
+		*sh.Local(t, i) = f(r, i)
+		t.Flops(flopsPerElem)
+	})
+	t.Barrier()
+	dst.c.ForOwned(t, func(i int) {
+		*dst.c.Local(t, i) = *sh.Local(t, i)
+	})
+	t.Mem(dst.c.LocalCount(t) * 8)
+	t.Barrier()
+}
+
+// Fill initializes dst[i] = f(i) locally (no communication) and
+// synchronizes.
+func Fill(t *pcxx.Thread, dst *Array, f func(i int) float64) {
+	dst.c.ForOwned(t, func(i int) {
+		*dst.c.Local(t, i) = f(i)
+	})
+	t.Mem(dst.c.LocalCount(t) * 8)
+	t.Barrier()
+}
+
+// Sum reduces the array to its total on every thread (HPF's SUM
+// intrinsic): local partial sums, then the runtime's tree reduction.
+func Sum(t *pcxx.Thread, a *Array) float64 {
+	local := 0.0
+	a.c.ForOwned(t, func(i int) {
+		local += *a.c.Local(t, i)
+	})
+	t.Flops(a.c.LocalCount(t))
+	*a.m.partials.Local(t, t.ID()) = local
+	return pcxx.AllReduceSum(t, a.m.partials)
+}
+
+// MaxVal reduces to the array maximum on every thread (HPF's MAXVAL),
+// using the runtime's generic tree reduction with a max fold.
+func MaxVal(t *pcxx.Thread, a *Array) float64 {
+	local := math.Inf(-1) // threads owning nothing must not win the fold
+	a.c.ForOwned(t, func(i int) {
+		if v := *a.c.Local(t, i); v > local {
+			local = v
+		}
+	})
+	t.Flops(a.c.LocalCount(t))
+	*a.m.partials.Local(t, t.ID()) = local
+	return pcxx.AllReduceWith(t, a.m.partials, func(x, y float64) float64 {
+		if x > y {
+			return x
+		}
+		return y
+	})
+}
+
+// CShift assigns dst[i] = src[(i+shift) mod n] — HPF's circular shift,
+// a pure communication pattern.
+func CShift(t *pcxx.Thread, dst, src *Array, shift int) {
+	n := src.n
+	Forall(t, dst, 0, func(r Reader, i int) float64 {
+		j := ((i+shift)%n + n) % n
+		return r.At(src, j)
+	})
+}
+
+// Get reads a single element on every thread (a broadcast-style access).
+func Get(t *pcxx.Thread, a *Array, i int) float64 {
+	t.Barrier()
+	v := a.c.Read(t, i)
+	t.Barrier()
+	return v
+}

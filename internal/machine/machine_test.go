@@ -1,0 +1,97 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"extrap/internal/pcxx"
+	"extrap/internal/vtime"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for _, e := range Presets() {
+		if err := e.Config.Validate(); err != nil {
+			t.Errorf("%s: invalid config: %v", e.Name, err)
+		}
+		if e.Description == "" {
+			t.Errorf("%s: missing description", e.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"cm5", "generic-dm", "shared-mem", "ideal"} {
+		e, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+		if e.Name != name {
+			t.Errorf("ByName(%q).Name = %q", name, e.Name)
+		}
+	}
+	if _, err := ByName("cray-t3d"); err == nil {
+		t.Error("unknown environment accepted")
+	}
+}
+
+func TestCM5Table3Parameters(t *testing.T) {
+	e := CM5()
+	if e.Config.MipsRatio != 0.41 {
+		t.Errorf("MipsRatio = %g, want 0.41", e.Config.MipsRatio)
+	}
+	if e.Config.Comm.StartupTime != 10*vtime.Microsecond {
+		t.Errorf("CommStartupTime = %v, want 10µs", e.Config.Comm.StartupTime)
+	}
+	if e.Config.Comm.ByteTransferTime != vtime.FromMicros(0.118) {
+		t.Errorf("ByteTransferTime = %v, want 0.118µs", e.Config.Comm.ByteTransferTime)
+	}
+	if e.Config.Barrier.ModelTime != 5*vtime.Microsecond {
+		t.Errorf("BarrierModelTime = %v, want 5µs", e.Config.Barrier.ModelTime)
+	}
+	// 0.118 µs/byte ≈ 8.5 MB/s.
+	cm5Comm := e.Config.Comm
+	if bw := cm5Comm.BandwidthMBps(); math.Abs(bw-8.47) > 0.1 {
+		t.Errorf("bandwidth = %.2f MB/s, want ≈8.5", bw)
+	}
+}
+
+func TestGenericDMBandwidth(t *testing.T) {
+	dm := GenericDM().Config.Comm
+	if bw := dm.BandwidthMBps(); bw != 20 {
+		t.Errorf("generic-dm bandwidth = %g MB/s, want 20", bw)
+	}
+	sm := SharedMem().Config.Comm
+	if bw := sm.BandwidthMBps(); bw != 200 {
+		t.Errorf("shared-mem bandwidth = %g MB/s, want 200", bw)
+	}
+}
+
+func TestIdealIsFree(t *testing.T) {
+	cfg := Ideal().Config
+	if cfg.Comm.StartupTime != 0 || cfg.Comm.ByteTransferTime != 0 ||
+		cfg.Barrier.EntryTime != 0 || cfg.Barrier.ModelTime != 0 {
+		t.Error("ideal environment has nonzero costs")
+	}
+}
+
+func TestMeasureMFLOPSMatchesPaper(t *testing.T) {
+	sun := MeasureMFLOPS(pcxx.Sun4())
+	if math.Abs(sun-1.1360) > 0.01 {
+		t.Errorf("Sun 4 MFLOPS = %.4f, want ≈1.1360", sun)
+	}
+	cm5 := MeasureMFLOPS(pcxx.CM5Node())
+	if math.Abs(cm5-2.7645) > 0.03 {
+		t.Errorf("CM-5 MFLOPS = %.4f, want ≈2.7645", cm5)
+	}
+}
+
+func TestDeriveMipsRatio(t *testing.T) {
+	ratio := DeriveMipsRatio(pcxx.Sun4(), pcxx.CM5Node())
+	if math.Abs(ratio-0.41) > 0.01 {
+		t.Errorf("MipsRatio = %.3f, want ≈0.41", ratio)
+	}
+	// Degenerate target.
+	if DeriveMipsRatio(pcxx.Sun4(), pcxx.CostModel{}) != 0 {
+		t.Error("zero-cost target should derive ratio 0")
+	}
+}

@@ -1,0 +1,188 @@
+package dist
+
+import "fmt"
+
+// Dist2D maps a rows×cols element grid onto a processor grid derived from
+// per-dimension attributes, following the pC++ conventions:
+//
+//   - (distributed, distributed): an s×s processor grid with
+//     s = floor(sqrt(N)); threads s²..N−1 own nothing (the paper's
+//     perfect-square artifact).
+//   - (distributed, Whole): a N×1 grid (rows spread over all threads).
+//   - (Whole, distributed): a 1×N grid.
+//   - (Whole, Whole): everything on thread 0.
+//
+// Thread ids are assigned row-major over the processor grid.
+type Dist2D struct {
+	rows, cols int
+	n          int
+	rowAttr    Attr
+	colAttr    Attr
+	pr, pc     int // processor grid shape
+	brows      int // block size along rows (Block attr)
+	bcols      int // block size along cols
+}
+
+// NewDist2D builds a 2-D distribution of a rows×cols grid over n threads
+// with the given per-dimension attributes.
+func NewDist2D(rows, cols, n int, rowAttr, colAttr Attr) *Dist2D {
+	checkArgs(rows*cols, n)
+	d := &Dist2D{rows: rows, cols: cols, n: n, rowAttr: rowAttr, colAttr: colAttr}
+	rowDist := rowAttr != Whole
+	colDist := colAttr != Whole
+	switch {
+	case rowDist && colDist:
+		s := isqrt(n)
+		if s < 1 {
+			s = 1
+		}
+		d.pr, d.pc = s, s
+	case rowDist:
+		d.pr, d.pc = n, 1
+	case colDist:
+		d.pr, d.pc = 1, n
+	default:
+		d.pr, d.pc = 1, 1
+	}
+	d.brows = ceilDiv(rows, d.pr)
+	d.bcols = ceilDiv(cols, d.pc)
+	return d
+}
+
+// Rows returns the number of element rows.
+func (d *Dist2D) Rows() int { return d.rows }
+
+// Cols returns the number of element columns.
+func (d *Dist2D) Cols() int { return d.cols }
+
+// NumThreads returns the thread count the grid is mapped over.
+func (d *Dist2D) NumThreads() int { return d.n }
+
+// ProcGrid returns the processor grid shape (pr rows × pc cols of threads).
+func (d *Dist2D) ProcGrid() (pr, pc int) { return d.pr, d.pc }
+
+// UsedThreads returns how many threads own at least one element — pr×pc,
+// which is < n when a doubly-distributed grid meets a non-square count.
+func (d *Dist2D) UsedThreads() int { return d.pr * d.pc }
+
+// coord returns the processor coordinate of index i along a dimension.
+func coord(i, procs, blk int, a Attr) int {
+	switch a {
+	case Whole:
+		return 0
+	case Block:
+		c := i / blk
+		if c >= procs {
+			c = procs - 1
+		}
+		return c
+	case Cyclic:
+		return i % procs
+	}
+	panic(fmt.Sprintf("dist: unknown attr %v", a))
+}
+
+// localCoord returns the local position of i along a dimension.
+func localCoord(i, procs, blk int, a Attr) int {
+	switch a {
+	case Whole:
+		return i
+	case Block:
+		return i - coord(i, procs, blk, Block)*blk
+	case Cyclic:
+		return i / procs
+	}
+	panic(fmt.Sprintf("dist: unknown attr %v", a))
+}
+
+// OwnerRC returns the thread owning element (r, c).
+func (d *Dist2D) OwnerRC(r, c int) int {
+	pr := coord(r, d.pr, d.brows, d.rowAttr)
+	pc := coord(c, d.pc, d.bcols, d.colAttr)
+	return pr*d.pc + pc
+}
+
+// LocalRC returns (r, c)'s position within its owner's local tile.
+func (d *Dist2D) LocalRC(r, c int) (lr, lc int) {
+	return localCoord(r, d.pr, d.brows, d.rowAttr),
+		localCoord(c, d.pc, d.bcols, d.colAttr)
+}
+
+// Name describes the distribution, e.g. "(Block,Cyclic)".
+func (d *Dist2D) Name() string {
+	return fmt.Sprintf("(%s,%s)", d.rowAttr, d.colAttr)
+}
+
+// Size returns rows*cols, satisfying the linearized Distribution view.
+func (d *Dist2D) Size() int { return d.rows * d.cols }
+
+// Owner returns the owner of linearized index i (row-major).
+func (d *Dist2D) Owner(i int) int { return d.OwnerRC(i/d.cols, i%d.cols) }
+
+// LocalIndex returns a dense local index for linearized index i: the
+// element's position in its owner's row-major local tile.
+func (d *Dist2D) LocalIndex(i int) int {
+	r, c := i/d.cols, i%d.cols
+	lr, lc := d.LocalRC(r, c)
+	return lr*d.localTileCols(d.OwnerRC(r, c)) + lc
+}
+
+// LocalCount returns the number of elements thread owns.
+func (d *Dist2D) LocalCount(thread int) int {
+	if thread >= d.pr*d.pc {
+		return 0
+	}
+	return d.localTileRows(thread) * d.localTileCols(thread)
+}
+
+// localTileRows returns the number of element rows thread owns.
+func (d *Dist2D) localTileRows(thread int) int {
+	p := thread / d.pc
+	return dimLocalCount(d.rows, d.pr, d.brows, d.rowAttr, p)
+}
+
+// localTileCols returns the number of element columns thread owns.
+func (d *Dist2D) localTileCols(thread int) int {
+	p := thread % d.pc
+	return dimLocalCount(d.cols, d.pc, d.bcols, d.colAttr, p)
+}
+
+// TileShape returns the (rows, cols) shape of thread's local tile.
+func (d *Dist2D) TileShape(thread int) (r, c int) {
+	if thread >= d.pr*d.pc {
+		return 0, 0
+	}
+	return d.localTileRows(thread), d.localTileCols(thread)
+}
+
+func dimLocalCount(size, procs, blk int, a Attr, p int) int {
+	switch a {
+	case Whole:
+		if p == 0 {
+			return size
+		}
+		return 0
+	case Block:
+		lo := p * blk
+		if lo >= size {
+			return 0
+		}
+		hi := lo + blk
+		if p == procs-1 || hi > size {
+			hi = size
+		}
+		// The last processor also absorbs any overflow rows beyond
+		// procs*blk (cannot happen with ceil blocks, but keep the clamp).
+		if p == procs-1 && size > procs*blk {
+			hi = size
+		}
+		return hi - lo
+	case Cyclic:
+		c := size / procs
+		if p < size%procs {
+			c++
+		}
+		return c
+	}
+	panic(fmt.Sprintf("dist: unknown attr %v", a))
+}

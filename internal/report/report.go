@@ -1,0 +1,202 @@
+// Package report renders experiment results as aligned ASCII tables,
+// simple multi-series ASCII charts, and CSV — the output formats of the
+// experiment drivers and the CLI.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row, stringifying each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e9 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = displayWidth(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && displayWidth(c) > widths[i] {
+				widths[i] = displayWidth(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - displayWidth(c)
+			}
+			parts[i] = c + strings.Repeat(" ", pad)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV writes the table as comma-separated values (no quoting of commas:
+// cells are numeric or simple identifiers by construction).
+func (t *Table) CSV(w io.Writer) {
+	fmt.Fprintln(w, strings.Join(t.Columns, ","))
+	for _, r := range t.Rows {
+		fmt.Fprintln(w, strings.Join(r, ","))
+	}
+}
+
+// displayWidth approximates the rendered width (rune count).
+func displayWidth(s string) int { return len([]rune(s)) }
+
+// NamedSeries is one labelled line of a figure.
+type NamedSeries struct {
+	Name   string
+	Values []float64
+}
+
+// Figure is a multi-series plot over a shared integer x-axis (processor
+// counts in every experiment here).
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []int
+	Series []NamedSeries
+	Notes  []string
+}
+
+// Add appends a series.
+func (f *Figure) Add(name string, values []float64) {
+	f.Series = append(f.Series, NamedSeries{Name: name, Values: values})
+}
+
+// Table converts the figure into its tabular form (x in the first
+// column, one column per series).
+func (f *Figure) Table() Table {
+	t := Table{Title: f.Title, Columns: append([]string{f.XLabel}, seriesNames(f.Series)...)}
+	for i, x := range f.X {
+		row := []string{fmt.Sprintf("%d", x)}
+		for _, s := range f.Series {
+			if i < len(s.Values) {
+				row = append(row, trimFloat(s.Values[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = f.Notes
+	return t
+}
+
+// Render writes the figure as a table followed by an ASCII chart.
+func (f *Figure) Render(w io.Writer) {
+	tb := f.Table()
+	tb.Render(w)
+	f.renderChart(w)
+}
+
+// renderChart draws a compact ASCII chart: one letter per series.
+func (f *Figure) renderChart(w io.Writer) {
+	const height = 12
+	if len(f.Series) == 0 || len(f.X) == 0 {
+		return
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		for _, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	if !(hi > lo) {
+		hi = lo + 1
+	}
+	cols := len(f.X)
+	colW := 6
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols*colW))
+	}
+	for si, s := range f.Series {
+		mark := byte('A' + si%26)
+		for i, v := range s.Values {
+			if i >= cols || math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			r := int((v - lo) / (hi - lo) * float64(height-1))
+			row := height - 1 - r
+			col := i*colW + colW/2
+			grid[row][col] = mark
+		}
+	}
+	fmt.Fprintf(w, "%s (%s: %.4g..%.4g)\n", f.Title, f.YLabel, lo, hi)
+	for _, row := range grid {
+		fmt.Fprintf(w, "  |%s\n", string(row))
+	}
+	fmt.Fprintf(w, "  +%s\n   ", strings.Repeat("-", cols*colW))
+	for _, x := range f.X {
+		fmt.Fprintf(w, "%-*d", colW, x)
+	}
+	fmt.Fprintln(w)
+	for si, s := range f.Series {
+		fmt.Fprintf(w, "   %c = %s\n", 'A'+si%26, s.Name)
+	}
+	fmt.Fprintln(w)
+}
+
+func seriesNames(ss []NamedSeries) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.Name
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := Table{
+		Title:   "demo",
+		Columns: []string{"name", "value"},
+		Notes:   []string{"a note"},
+	}
+	tab.AddRow("alpha", 1.5)
+	tab.AddRow("beta-very-long-name", 42.0)
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"== demo ==", "name", "value", "alpha", "1.500", "42", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: the header and first row start their second column
+	// at the same offset.
+	lines := strings.Split(out, "\n")
+	hdr, sep := lines[1], lines[2]
+	if len(sep) < len("name") {
+		t.Fatalf("separator line too short: %q", sep)
+	}
+	if strings.Index(hdr, "value") < 0 {
+		t.Fatalf("header %q", hdr)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := Table{Columns: []string{"a", "b"}}
+	tab.AddRow(1, 2)
+	tab.AddRow("x", "y")
+	var buf bytes.Buffer
+	tab.CSV(&buf)
+	want := "a,b\n1,2\nx,y\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		1:      "1",
+		1.5:    "1.500",
+		-3:     "-3",
+		0.3333: "0.333",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%g) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFigureTable(t *testing.T) {
+	f := Figure{
+		Title: "speedups", XLabel: "procs", YLabel: "speedup",
+		X: []int{1, 2, 4},
+	}
+	f.Add("embar", []float64{1, 2, 4})
+	f.Add("grid", []float64{1, 1.5}) // short series: padded cell
+	tab := f.Table()
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Columns[0] != "procs" || tab.Columns[1] != "embar" {
+		t.Fatalf("columns = %v", tab.Columns)
+	}
+	if tab.Rows[2][2] != "" {
+		t.Errorf("missing value should render empty, got %q", tab.Rows[2][2])
+	}
+}
+
+func TestFigureRenderChart(t *testing.T) {
+	f := Figure{
+		Title: "demo", XLabel: "procs", YLabel: "ms",
+		X: []int{1, 2, 4, 8},
+	}
+	f.Add("one", []float64{1, 2, 3, 4})
+	f.Add("two", []float64{4, 3, 2, 1})
+	var buf bytes.Buffer
+	f.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "A = one") || !strings.Contains(out, "B = two") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "A") || !strings.Contains(out, "B") {
+		t.Error("marks missing from chart")
+	}
+	// The axis shows the x values.
+	if !strings.Contains(out, "8") {
+		t.Error("x axis missing")
+	}
+}
+
+func TestFigureChartDegenerateValues(t *testing.T) {
+	f := Figure{Title: "flat", XLabel: "x", YLabel: "y", X: []int{1, 2}}
+	f.Add("const", []float64{5, 5})
+	var buf bytes.Buffer
+	f.Render(&buf) // must not divide by zero on a flat series
+	if buf.Len() == 0 {
+		t.Fatal("nothing rendered")
+	}
+
+	empty := Figure{Title: "empty", X: nil}
+	var buf2 bytes.Buffer
+	empty.renderChart(&buf2) // no series: chart silently skipped
+}
+
+func TestFigureSVG(t *testing.T) {
+	f := Figure{
+		Title: "Speedup & <test>", XLabel: "procs", YLabel: "speedup",
+		X: []int{1, 2, 4, 8},
+	}
+	f.Add("embar", []float64{1, 2, 3.9, 7.8})
+	f.Add("grid", []float64{1, 1, 2.8, 2.5})
+	var buf bytes.Buffer
+	if err := f.SVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "polyline", "embar", "grid",
+		"Speedup &amp; &lt;test&gt;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Two series → two polylines.
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d, want 2", got)
+	}
+	// Eight data points → eight circles.
+	if got := strings.Count(out, "<circle"); got != 8 {
+		t.Errorf("circles = %d, want 8", got)
+	}
+}
+
+func TestFigureSVGDegenerate(t *testing.T) {
+	// Flat series and single x value must not produce NaN coordinates.
+	f := Figure{Title: "flat", XLabel: "x", YLabel: "y", X: []int{1}}
+	f.Add("only", []float64{5})
+	var buf bytes.Buffer
+	if err := f.SVG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Error("SVG contains NaN coordinates")
+	}
+}

@@ -1,0 +1,288 @@
+package sim
+
+import (
+	"fmt"
+
+	"extrap/internal/trace"
+	"extrap/internal/vtime"
+)
+
+// barSt tracks one global barrier through the simulation.
+type barSt struct {
+	id      int64
+	entries int
+	// maxArrive is the latest entry-completion time (analytic variants
+	// and the hardware barrier).
+	maxArrive vtime.Time
+	// Linear master-slave state.
+	masterEntered bool
+	masterFreeAt  vtime.Time
+	arrivedMsgs   int
+	lastArrProc   vtime.Time
+	released      bool
+	// Tree barrier per-node state.
+	childGot    []int
+	nodeEntered []bool
+	nodeFreeAt  []vtime.Time
+	releaseSent []bool
+}
+
+func (e *engine) bar(id int64) *barSt {
+	b := e.bars[id]
+	if b == nil {
+		b = &barSt{id: id}
+		if e.cfg.Barrier.Algorithm == TreeBarrier {
+			b.childGot = make([]int, e.n)
+			b.nodeEntered = make([]bool, e.n)
+			b.nodeFreeAt = make([]vtime.Time, e.n)
+			b.releaseSent = make([]bool, e.n)
+		}
+		e.bars[id] = b
+	}
+	return b
+}
+
+// numChildren returns the child count of node i in the binary combining
+// tree over n threads.
+func numChildren(i, n int) int {
+	c := 0
+	if 2*i+1 < n {
+		c++
+	}
+	if 2*i+2 < n {
+		c++
+	}
+	return c
+}
+
+// barrierEnter simulates thread t reaching global barrier id at e.now.
+func (e *engine) barrierEnter(t *thr, id int64) {
+	b := e.bar(id)
+	b.entries++
+	bc := &e.cfg.Barrier
+	e.emit(e.now, trace.KindBarrierEntry, t.id, id, 0, 0)
+	entryDone := e.now + bc.EntryTime
+
+	switch bc.Algorithm {
+	case HardwareBarrier:
+		e.block(t, tsWaitBarrier, entryDone)
+		if entryDone > b.maxArrive {
+			b.maxArrive = entryDone
+		}
+		if b.entries == e.n {
+			release := b.maxArrive + bc.HardwareTime
+			for _, th := range e.threads {
+				e.fel.schedule(release+bc.ExitTime, evResume, th.id, th.gen, nil)
+			}
+		}
+
+	case LinearBarrier:
+		if !bc.ByMsgs {
+			e.block(t, tsWaitBarrier, entryDone)
+			if entryDone > b.maxArrive {
+				b.maxArrive = entryDone
+			}
+			if t.id == 0 {
+				b.masterEntered = true
+				b.masterFreeAt = entryDone
+			}
+			if b.entries == e.n {
+				release := vtime.Max(b.maxArrive, b.masterFreeAt) + bc.CheckTime + bc.ModelTime
+				for _, th := range e.threads {
+					exit := release + bc.ExitTime
+					if th.id != 0 {
+						exit += bc.ExitCheckTime
+					}
+					e.fel.schedule(exit, evResume, th.id, th.gen, nil)
+				}
+			}
+			return
+		}
+		if t.id == 0 {
+			e.block(t, tsWaitBarrier, entryDone)
+			b.masterEntered = true
+			b.masterFreeAt = entryDone
+			e.checkLinearComplete(b)
+		} else {
+			net := e.netFor(t.proc, e.threads[0].proc)
+			sendOv := net.SendOverhead(bc.MsgSize)
+			injectAt := entryDone + sendOv
+			m := &message{kind: mBarArrive, src: t.id, dst: 0, bytes: bc.MsgSize, barrier: id}
+			raw := net.Inject(injectAt, t.proc, e.threads[0].proc, bc.MsgSize)
+			e.fel.schedule(raw, evMsgArrive, 0, 0, m)
+			e.emit(injectAt, trace.KindMsgSend, t.id, 0, bc.MsgSize, int64(mBarArrive))
+			e.block(t, tsWaitBarrier, injectAt)
+		}
+
+	case TreeBarrier:
+		if !bc.ByMsgs {
+			e.block(t, tsWaitBarrier, entryDone)
+			if entryDone > b.maxArrive {
+				b.maxArrive = entryDone
+			}
+			if b.entries == e.n {
+				depth := vtime.Time(log2ceil(e.n))
+				release := b.maxArrive + depth*bc.CheckTime + bc.ModelTime
+				for _, th := range e.threads {
+					exit := release + depth*bc.ExitCheckTime + bc.ExitTime
+					e.fel.schedule(exit, evResume, th.id, th.gen, nil)
+				}
+			}
+			return
+		}
+		e.block(t, tsWaitBarrier, entryDone)
+		b.nodeEntered[t.id] = true
+		if entryDone > b.nodeFreeAt[t.id] {
+			b.nodeFreeAt[t.id] = entryDone
+		}
+		e.checkTreeNode(b, t.id)
+
+	default:
+		panic(fmt.Sprintf("sim: unknown barrier algorithm %v", bc.Algorithm))
+	}
+}
+
+// checkLinearComplete fires the master's release sequence once the master
+// has entered and every slave's arrival message has been processed.
+func (e *engine) checkLinearComplete(b *barSt) {
+	if b.released || !b.masterEntered || b.arrivedMsgs != e.n-1 {
+		return
+	}
+	b.released = true
+	bc := &e.cfg.Barrier
+	start := vtime.Max(b.lastArrProc, b.masterFreeAt) + bc.ModelTime
+	masterProc := e.threads[0].proc
+	at := start
+	// The master releases slaves one after another — the linear cost of
+	// the algorithm.
+	for s := 1; s < e.n; s++ {
+		net := e.netFor(masterProc, e.threads[s].proc)
+		at += net.SendOverhead(bc.MsgSize)
+		m := &message{kind: mBarRelease, src: 0, dst: s, bytes: bc.MsgSize, barrier: b.id}
+		raw := net.Inject(at, masterProc, e.threads[s].proc, bc.MsgSize)
+		e.fel.schedule(raw, evMsgArrive, 0, 0, m)
+		e.emit(at, trace.KindMsgSend, 0, int64(s), bc.MsgSize, int64(mBarRelease))
+	}
+	master := e.threads[0]
+	e.fel.schedule(at+bc.ExitTime, evResume, 0, master.gen, nil)
+}
+
+// barrierArriveServiced is called when a barrier arrival message has been
+// processed (its CheckTime paid) at time doneAt.
+func (e *engine) barrierArriveServiced(m *message, doneAt vtime.Time) {
+	b := e.bar(m.barrier)
+	switch e.cfg.Barrier.Algorithm {
+	case LinearBarrier:
+		b.arrivedMsgs++
+		if doneAt > b.lastArrProc {
+			b.lastArrProc = doneAt
+		}
+		e.checkLinearComplete(b)
+	case TreeBarrier:
+		node := m.dst
+		b.childGot[node]++
+		if doneAt > b.nodeFreeAt[node] {
+			b.nodeFreeAt[node] = doneAt
+		}
+		e.checkTreeNode(b, node)
+	default:
+		panic("sim: barrier arrival under non-message barrier")
+	}
+}
+
+// checkTreeNode advances the combining tree: when node has entered and
+// heard from all children, it reports to its parent (or starts the release
+// if it is the root).
+func (e *engine) checkTreeNode(b *barSt, node int) {
+	if !b.nodeEntered[node] || b.childGot[node] != numChildren(node, e.n) {
+		return
+	}
+	bc := &e.cfg.Barrier
+	if node == 0 {
+		if b.released {
+			return
+		}
+		b.released = true
+		e.treeRelease(b, 0, b.nodeFreeAt[0]+bc.ModelTime)
+		return
+	}
+	parent := (node - 1) / 2
+	nodeProc := e.threads[node].proc
+	parentProc := e.threads[parent].proc
+	net := e.netFor(nodeProc, parentProc)
+	injectAt := b.nodeFreeAt[node] + net.SendOverhead(bc.MsgSize)
+	m := &message{kind: mBarArrive, src: node, dst: parent, bytes: bc.MsgSize, barrier: b.id}
+	raw := net.Inject(injectAt, nodeProc, parentProc, bc.MsgSize)
+	e.fel.schedule(raw, evMsgArrive, 0, 0, m)
+	e.emit(injectAt, trace.KindMsgSend, node, int64(parent), bc.MsgSize, int64(mBarArrive))
+}
+
+// treeRelease sends release messages from node to its children starting at
+// time at and schedules node's own exit.
+func (e *engine) treeRelease(b *barSt, node int, at vtime.Time) {
+	bc := &e.cfg.Barrier
+	if b.releaseSent[node] {
+		return
+	}
+	b.releaseSent[node] = true
+	nodeProc := e.threads[node].proc
+	for _, c := range []int{2*node + 1, 2*node + 2} {
+		if c >= e.n {
+			continue
+		}
+		net := e.netFor(nodeProc, e.threads[c].proc)
+		at += net.SendOverhead(bc.MsgSize)
+		m := &message{kind: mBarRelease, src: node, dst: c, bytes: bc.MsgSize, barrier: b.id}
+		raw := net.Inject(at, nodeProc, e.threads[c].proc, bc.MsgSize)
+		e.fel.schedule(raw, evMsgArrive, 0, 0, m)
+		e.emit(at, trace.KindMsgSend, node, int64(c), bc.MsgSize, int64(mBarRelease))
+	}
+	t := e.threads[node]
+	e.fel.schedule(at+bc.ExitTime, evResume, node, t.gen, nil)
+}
+
+// barrierReleaseArrive handles a release message reaching a waiting
+// thread: it notices the release, (tree) forwards it to its children, and
+// exits.
+func (e *engine) barrierReleaseArrive(m *message) {
+	t := e.threads[m.dst]
+	if t.state != tsWaitBarrier {
+		panic(fmt.Sprintf("sim: release for thread %d in state %d", t.id, t.state))
+	}
+	bc := &e.cfg.Barrier
+	p := e.procs[t.proc]
+	noticed := vtime.Max(e.now+bc.ExitCheckTime, p.svcBusyUntil)
+	if e.cfg.Barrier.Algorithm == TreeBarrier {
+		b := e.bar(m.barrier)
+		e.treeRelease(b, t.id, noticed)
+		// treeRelease scheduled the exit (after forwarding to children).
+		return
+	}
+	e.fel.schedule(noticed+bc.ExitTime, evResume, t.id, t.gen, nil)
+}
+
+// resumeFromBarrier completes t's barrier: the pending barrier-exit trace
+// event is consumed at e.now and the thread continues.
+func (e *engine) resumeFromBarrier(t *thr) {
+	if t.state != tsWaitBarrier {
+		panic(fmt.Sprintf("sim: barrier resume for thread %d in state %d", t.id, t.state))
+	}
+	ev := t.evs[t.pos]
+	if ev.Kind != trace.KindBarrierExit {
+		panic(fmt.Sprintf("sim: thread %d resumed from barrier onto %v event", t.id, ev.Kind))
+	}
+	e.emit(e.now, trace.KindBarrierExit, t.id, ev.Arg0, 0, 0)
+	t.stats.BarrierWait += e.now - t.blockAt
+	t.stats.Barriers++
+	e.consume(t, ev)
+	e.continueThread(t, e.now)
+}
+
+// log2ceil returns ceil(log2(n)) for n ≥ 1.
+func log2ceil(n int) int {
+	d := 0
+	for 1<<d < n {
+		d++
+	}
+	return d
+}

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"container/heap"
+
+	"extrap/internal/vtime"
+)
+
+// evKind discriminates future-event-list entries.
+type evKind uint8
+
+const (
+	// evComputeDone fires when a thread's current compute segment ends.
+	evComputeDone evKind = iota
+	// evMsgArrive fires when a message becomes available to software at
+	// its destination processor.
+	evMsgArrive
+	// evPollTick fires at a poll-policy chunk boundary.
+	evPollTick
+	// evResume fires when a blocked thread should continue (reply
+	// consumed, barrier release granted, service backlog drained).
+	evResume
+)
+
+// event is one scheduled simulation occurrence. seq breaks time ties
+// deterministically in schedule order; gen invalidates superseded
+// compute-done/poll events (e.g. after an interrupt extends a segment).
+type event struct {
+	at     vtime.Time
+	seq    uint64
+	kind   evKind
+	thread int
+	gen    uint64
+	msg    *message
+}
+
+// eventQueue is a deterministic min-heap ordered by (time, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+// Push appends an event (heap.Interface).
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+// Pop removes the last element (heap.Interface).
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// fel is the future event list.
+type fel struct {
+	q      eventQueue
+	nextSq uint64
+}
+
+func (f *fel) schedule(at vtime.Time, kind evKind, thread int, gen uint64, msg *message) {
+	e := &event{at: at, seq: f.nextSq, kind: kind, thread: thread, gen: gen, msg: msg}
+	f.nextSq++
+	heap.Push(&f.q, e)
+}
+
+func (f *fel) pop() *event {
+	if len(f.q) == 0 {
+		return nil
+	}
+	return heap.Pop(&f.q).(*event)
+}
+
+func (f *fel) empty() bool { return len(f.q) == 0 }

@@ -1,0 +1,629 @@
+package sim
+
+import (
+	"fmt"
+
+	"extrap/internal/sim/network"
+	"extrap/internal/trace"
+	"extrap/internal/translate"
+	"extrap/internal/vtime"
+)
+
+// msgKind discriminates simulated messages.
+type msgKind uint8
+
+const (
+	mReqRead msgKind = iota
+	mReqWrite
+	mReply
+	mBarArrive
+	mBarRelease
+)
+
+// message is one simulated network message.
+type message struct {
+	kind      msgKind
+	src, dst  int // thread ids
+	bytes     int64
+	barrier   int64
+	delivered bool // NI queueing applied
+}
+
+// tstate is a simulated thread's execution state.
+type tstate uint8
+
+const (
+	tsComputing tstate = iota
+	tsWaitCPU
+	tsWaitReply
+	tsWaitBarrier
+	tsDone
+)
+
+// thr is the per-thread simulation state: a cursor over the translated
+// trace plus execution bookkeeping.
+type thr struct {
+	id, proc int
+	evs      []trace.Event
+	pos      int
+	prevT    vtime.Time // translated-trace time of the last consumed event
+	state    tstate
+	gen      uint64     // invalidates superseded compute-done/poll events
+	segEnd   vtime.Time // absolute end of the current compute run
+	pureLeft vtime.Time // pure compute remaining beyond the current run (Poll)
+	blockAt  vtime.Time // when the thread last blocked (stats)
+	readyAt  vtime.Time // when the thread became runnable (CPU wait stats)
+	stats    ThreadStats
+}
+
+// prc is a simulated processor: the threads mapped to it, its run state,
+// its pending-request queue, and its service serialization point.
+type prc struct {
+	id       int
+	threads  []int
+	current  int // thread id computing now, -1 if none
+	last     int // last thread that computed (context switch detection)
+	runq     []int
+	svcQueue []*message
+	// svcBusyUntil serializes message handling on this processor.
+	svcBusyUntil vtime.Time
+}
+
+// engine drives one trace-driven simulation.
+type engine struct {
+	cfg     Config
+	n       int
+	nprocs  int
+	threads []*thr
+	procs   []*prc
+	inter   *network.Network
+	intra   *network.Network // non-nil when clustering is enabled
+	fel     fel
+	bars    map[int64]*barSt
+	out     *trace.Trace
+	now     vtime.Time
+	done    int
+}
+
+// Simulate replays the translated parallel trace against the target
+// environment described by cfg and returns the predicted performance
+// information and metrics.
+func Simulate(pt *translate.ParallelTrace, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := pt.NumThreads
+	if n <= 0 {
+		return nil, fmt.Errorf("sim: empty parallel trace")
+	}
+	nprocs := cfg.Procs
+	if nprocs == 0 {
+		nprocs = n
+	}
+	if nprocs > n {
+		return nil, fmt.Errorf("sim: %d processors for %d threads; extrapolation maps m ≤ n", nprocs, n)
+	}
+	if n%nprocs != 0 {
+		return nil, fmt.Errorf("sim: thread count %d not divisible by processor count %d", n, nprocs)
+	}
+
+	e := &engine{
+		cfg:    cfg,
+		n:      n,
+		nprocs: nprocs,
+		bars:   make(map[int64]*barSt),
+	}
+	var err error
+	if e.inter, err = network.New(cfg.Comm, nprocs); err != nil {
+		return nil, err
+	}
+	if cfg.ClusterSize > 1 {
+		if e.intra, err = network.New(cfg.IntraComm, nprocs); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.EmitTrace {
+		e.out = trace.New(n)
+		e.out.Phases = append([]string(nil), pt.Phases...)
+	}
+
+	perProc := n / nprocs
+	e.procs = make([]*prc, nprocs)
+	for p := range e.procs {
+		e.procs[p] = &prc{id: p, current: -1, last: -1}
+	}
+	e.threads = make([]*thr, n)
+	for i := 0; i < n; i++ {
+		p := placeThread(cfg.Placement, i, n, nprocs, perProc)
+		t := &thr{id: i, proc: p, evs: pt.Threads[i], state: tsWaitCPU}
+		if len(t.evs) > 0 {
+			t.prevT = t.evs[0].Time
+		}
+		e.threads[i] = t
+		e.procs[p].threads = append(e.procs[p].threads, i)
+	}
+
+	// Launch: every thread wants the CPU at time 0 for its first (empty)
+	// segment leading to its first event.
+	for _, t := range e.threads {
+		if len(t.evs) == 0 {
+			t.state = tsDone
+			e.done++
+			continue
+		}
+		e.requestCPU(t, 0)
+	}
+
+	const maxEvents = 1 << 28 // runaway-guard far above any real workload
+	steps := 0
+	for !e.fel.empty() {
+		ev := e.fel.pop()
+		if ev.at < e.now {
+			return nil, fmt.Errorf("sim: time ran backwards: %v after %v", ev.at, e.now)
+		}
+		e.now = ev.at
+		switch ev.kind {
+		case evComputeDone:
+			t := e.threads[ev.thread]
+			if ev.gen != t.gen || t.state != tsComputing {
+				continue // superseded
+			}
+			e.handleEvent(t)
+		case evPollTick:
+			t := e.threads[ev.thread]
+			if ev.gen != t.gen || t.state != tsComputing {
+				continue
+			}
+			e.pollTick(t)
+		case evMsgArrive:
+			e.msgArrive(ev.msg)
+		case evResume:
+			t := e.threads[ev.thread]
+			if ev.gen != t.gen {
+				continue
+			}
+			e.resumeFromBarrier(t)
+		}
+		if steps++; steps > maxEvents {
+			return nil, fmt.Errorf("sim: event budget exceeded (livelock?)")
+		}
+	}
+	if e.done != n {
+		return nil, fmt.Errorf("sim: %d of %d threads did not finish (deadlocked trace?)", n-e.done, n)
+	}
+
+	res := &Result{
+		Threads:  make([]ThreadStats, n),
+		Barriers: len(e.bars),
+		Procs:    nprocs,
+	}
+	for i, t := range e.threads {
+		res.Threads[i] = t.stats
+		if t.stats.Finish > res.TotalTime {
+			res.TotalTime = t.stats.Finish
+		}
+	}
+	res.Net = NetStats{
+		Messages:      e.inter.Messages,
+		Bytes:         e.inter.Bytes,
+		TotalTransit:  e.inter.TotalTransit,
+		ContentionAdd: e.inter.ContentionAdd,
+		QueueingAdd:   e.inter.QueueingAdd,
+		MaxInFlight:   e.inter.MaxInFlight,
+	}
+	if e.intra != nil {
+		res.Net.Messages += e.intra.Messages
+		res.Net.Bytes += e.intra.Bytes
+		res.Net.TotalTransit += e.intra.TotalTransit
+		res.Net.ContentionAdd += e.intra.ContentionAdd
+		res.Net.QueueingAdd += e.intra.QueueingAdd
+	}
+	if e.out != nil {
+		e.out.SortByTime()
+		res.Trace = e.out
+	}
+	return res, nil
+}
+
+// placeThread maps thread i onto a processor according to the placement
+// policy: contiguous blocks (neighboring threads share processors and
+// clusters) or round-robin (neighbors land on different processors).
+func placeThread(p Placement, i, n, nprocs, perProc int) int {
+	if p == CyclicPlacement {
+		return i % nprocs
+	}
+	return i / perProc
+}
+
+// netFor selects the communication substrate for a src→dst processor
+// pair: the intra-cluster network when both ends share a cluster.
+func (e *engine) netFor(srcProc, dstProc int) *network.Network {
+	if e.intra != nil && srcProc/e.cfg.ClusterSize == dstProc/e.cfg.ClusterSize {
+		return e.intra
+	}
+	return e.inter
+}
+
+// scale converts a translated-trace compute delta to target-processor time.
+func (e *engine) scale(d vtime.Time) vtime.Time {
+	if d <= 0 {
+		return 0
+	}
+	return d.Scale(e.cfg.MipsRatio)
+}
+
+// emit appends an event to the extrapolated trace if enabled.
+func (e *engine) emit(t vtime.Time, kind trace.Kind, thread int, a0, a1, a2 int64) {
+	if e.out == nil {
+		return
+	}
+	e.out.Append(trace.Event{Time: t, Kind: kind, Thread: int32(thread), Arg0: a0, Arg1: a1, Arg2: a2})
+}
+
+// --- CPU scheduling -------------------------------------------------------
+
+// requestCPU makes thread t runnable at time at; it starts computing its
+// next segment when its processor grants the CPU.
+func (e *engine) requestCPU(t *thr, at vtime.Time) {
+	p := e.procs[t.proc]
+	t.state = tsWaitCPU
+	t.readyAt = at
+	if p.current == -1 {
+		e.grantCPU(p, t, at)
+	} else {
+		p.runq = append(p.runq, t.id)
+	}
+}
+
+// grantCPU starts t's next compute segment on processor p at time ≥ at.
+func (e *engine) grantCPU(p *prc, t *thr, at vtime.Time) {
+	start := at
+	if p.last != -1 && p.last != t.id {
+		start += e.cfg.ContextSwitchTime
+	}
+	if start < t.readyAt {
+		start = t.readyAt
+	}
+	t.stats.CPUWait += start - t.readyAt
+	p.current = t.id
+	p.last = t.id
+	pure := e.scale(t.evs[t.pos].Time - t.prevT)
+	t.stats.Compute += pure
+	t.pureLeft = pure
+	e.runSegment(t, start)
+}
+
+// releaseCPU is called when the current thread of p blocks or finishes;
+// the next runnable thread (if any) is granted the CPU.
+func (e *engine) releaseCPU(p *prc, at vtime.Time) {
+	p.current = -1
+	if len(p.runq) > 0 {
+		next := e.threads[p.runq[0]]
+		p.runq = p.runq[1:]
+		e.grantCPU(p, next, at)
+	}
+}
+
+// runSegment schedules the next continuous run of t's pending pure
+// compute, splitting at poll boundaries under the Poll policy.
+func (e *engine) runSegment(t *thr, at vtime.Time) {
+	t.state = tsComputing
+	t.gen++
+	pol := &e.cfg.Policy
+	if pol.Kind == Poll && t.pureLeft > pol.PollInterval {
+		t.pureLeft -= pol.PollInterval
+		t.segEnd = at + pol.PollInterval
+		e.fel.schedule(t.segEnd, evPollTick, t.id, t.gen, nil)
+		return
+	}
+	t.segEnd = at + t.pureLeft
+	t.pureLeft = 0
+	e.fel.schedule(t.segEnd, evComputeDone, t.id, t.gen, nil)
+}
+
+// pollTick fires at a poll boundary: pay the poll overhead, service the
+// queued requests, then continue the segment.
+func (e *engine) pollTick(t *thr) {
+	p := e.procs[t.proc]
+	cost := e.cfg.Policy.PollOverhead
+	t.stats.Service += cost
+	resume := e.now + cost
+	if end := e.drainQueue(p, resume); end > resume {
+		resume = end
+	}
+	e.runSegment(t, resume)
+}
+
+// drainQueue services every queued request on p, starting no earlier than
+// from, and returns when the processor is free again.
+func (e *engine) drainQueue(p *prc, from vtime.Time) vtime.Time {
+	if p.svcBusyUntil < from {
+		p.svcBusyUntil = from
+	}
+	for _, m := range p.svcQueue {
+		e.serviceMessage(p, m, p.svcBusyUntil)
+	}
+	p.svcQueue = p.svcQueue[:0]
+	return p.svcBusyUntil
+}
+
+// --- trace event handling --------------------------------------------------
+
+// handleEvent processes the trace event t has just computed up to (at
+// e.now). It consumes the event and either schedules the next segment or
+// transitions the thread into a waiting state.
+func (e *engine) handleEvent(t *thr) {
+	ev := t.evs[t.pos]
+	switch ev.Kind {
+	case trace.KindThreadStart, trace.KindPhaseBegin, trace.KindPhaseEnd:
+		if ev.Kind != trace.KindThreadStart {
+			e.emit(e.now, ev.Kind, t.id, ev.Arg0, ev.Arg1, ev.Arg2)
+		}
+		e.consume(t, ev)
+		e.continueThread(t, e.now)
+
+	case trace.KindThreadEnd:
+		e.consume(t, ev)
+		t.state = tsDone
+		t.stats.Finish = e.now
+		e.done++
+		e.emit(e.now, trace.KindThreadEnd, t.id, 0, 0, 0)
+		p := e.procs[t.proc]
+		// Requests queued while this thread computed (NoInterrupt/Poll)
+		// must still be serviced, or their requesters would hang.
+		e.drainQueue(p, e.now)
+		if p.current == t.id {
+			e.releaseCPU(p, e.now)
+		}
+
+	case trace.KindRemoteRead:
+		e.remoteRead(t, ev)
+
+	case trace.KindRemoteWrite:
+		e.remoteWrite(t, ev)
+
+	case trace.KindBarrierEntry:
+		e.consume(t, ev)
+		e.barrierEnter(t, ev.Arg0)
+
+	case trace.KindBarrierExit:
+		// Exits are consumed by the release path; reaching one here means
+		// the release consumed it already and scheduling continued past
+		// it, which would be an engine bug.
+		panic(fmt.Sprintf("sim: thread %d computed into barrier-exit event", t.id))
+
+	default:
+		// Unknown instrumentation events are carried through untimed.
+		e.consume(t, ev)
+		e.continueThread(t, e.now)
+	}
+}
+
+// consume advances t past ev.
+func (e *engine) consume(t *thr, ev trace.Event) {
+	t.prevT = ev.Time
+	t.pos++
+}
+
+// continueThread moves t toward its next event starting at time at.
+func (e *engine) continueThread(t *thr, at vtime.Time) {
+	if t.pos >= len(t.evs) {
+		// Trace ended without a thread-end event; treat as done.
+		t.state = tsDone
+		t.stats.Finish = at
+		e.done++
+		p := e.procs[t.proc]
+		e.drainQueue(p, at)
+		if p.current == t.id {
+			e.releaseCPU(p, at)
+		}
+		return
+	}
+	p := e.procs[t.proc]
+	if p.current == t.id {
+		// Still on CPU: run the next segment directly.
+		pure := e.scale(t.evs[t.pos].Time - t.prevT)
+		t.stats.Compute += pure
+		t.pureLeft = pure
+		e.runSegment(t, at)
+		return
+	}
+	e.requestCPU(t, at)
+}
+
+// block transitions the on-CPU thread t into a waiting state, drains the
+// processor's request backlog (NoInterrupt/Poll requests queued during the
+// segment), and hands the CPU to the next thread.
+func (e *engine) block(t *thr, state tstate, cpuFreeAt vtime.Time) {
+	t.state = state
+	t.blockAt = e.now
+	p := e.procs[t.proc]
+	e.drainQueue(p, cpuFreeAt)
+	e.releaseCPU(p, cpuFreeAt)
+}
+
+// --- remote data access -----------------------------------------------------
+
+// remoteRead simulates t hitting a remote element read: construct and
+// inject a request to the owner, then wait for the reply.
+func (e *engine) remoteRead(t *thr, ev trace.Event) {
+	owner := int(ev.Arg0)
+	ownerProc := e.threads[owner].proc
+	if ownerProc == t.proc {
+		// Same-processor access in a multithreaded mapping: shared local
+		// memory; charge one service time as the lookup cost.
+		resume := e.now + e.cfg.Policy.ServiceTime
+		t.stats.CommWait += resume - e.now
+		t.stats.RemoteReads++
+		e.emit(e.now, trace.KindRemoteRead, t.id, ev.Arg0, ev.Arg1, ev.Arg2)
+		e.consume(t, ev)
+		e.continueThread(t, resume)
+		return
+	}
+	net := e.netFor(t.proc, ownerProc)
+	sendOv := net.SendOverhead(net.Config().RequestBytes)
+	injectAt := e.now + sendOv
+	m := &message{kind: mReqRead, src: t.id, dst: owner, bytes: ev.Arg1}
+	raw := net.Inject(injectAt, t.proc, ownerProc, net.Config().RequestBytes)
+	e.fel.schedule(raw, evMsgArrive, 0, 0, m)
+	e.emit(injectAt, trace.KindMsgSend, t.id, int64(owner), net.Config().RequestBytes, int64(mReqRead))
+	t.stats.RemoteReads++
+	e.block(t, tsWaitReply, injectAt)
+}
+
+// remoteWrite simulates the fire-and-forget remote write extension: the
+// writer pays the send overhead and continues; the owner services the
+// write when it arrives.
+func (e *engine) remoteWrite(t *thr, ev trace.Event) {
+	owner := int(ev.Arg0)
+	ownerProc := e.threads[owner].proc
+	t.stats.RemoteWrites++
+	if ownerProc == t.proc {
+		resume := e.now + e.cfg.Policy.ServiceTime
+		t.stats.CommWait += resume - e.now
+		e.consume(t, ev)
+		e.continueThread(t, resume)
+		return
+	}
+	net := e.netFor(t.proc, ownerProc)
+	sendOv := net.SendOverhead(ev.Arg1)
+	injectAt := e.now + sendOv
+	m := &message{kind: mReqWrite, src: t.id, dst: owner, bytes: ev.Arg1}
+	raw := net.Inject(injectAt, t.proc, ownerProc, ev.Arg1)
+	e.fel.schedule(raw, evMsgArrive, 0, 0, m)
+	e.emit(injectAt, trace.KindMsgSend, t.id, int64(owner), ev.Arg1, int64(mReqWrite))
+	t.stats.CommWait += sendOv
+	e.consume(t, ev)
+	e.continueThread(t, injectAt)
+}
+
+// --- message arrival and servicing -----------------------------------------
+
+// msgArrive handles a message reaching its destination processor. The
+// first firing applies NI receive-queue serialization; the (possibly
+// rescheduled) delivered firing dispatches on message kind.
+func (e *engine) msgArrive(m *message) {
+	dstProc := e.threads[m.dst].proc
+	if !m.delivered {
+		m.delivered = true
+		srcProc := e.threads[m.src].proc
+		avail := e.netFor(srcProc, dstProc).Deliver(e.now, dstProc)
+		if avail > e.now {
+			e.fel.schedule(avail, evMsgArrive, 0, 0, m)
+			return
+		}
+	}
+	switch m.kind {
+	case mReply:
+		e.replyArrive(m)
+	case mBarRelease:
+		e.emit(e.now, trace.KindMsgRecv, m.dst, int64(m.src), m.bytes, int64(m.kind))
+		e.barrierReleaseArrive(m)
+	default:
+		// CPU-handled messages: remote requests and barrier arrivals.
+		e.emit(e.now, trace.KindMsgRecv, m.dst, int64(m.src), m.bytes, int64(m.kind))
+		e.requestArrive(m)
+	}
+}
+
+// requestArrive routes a CPU-handled message through the service policy of
+// the destination processor.
+func (e *engine) requestArrive(m *message) {
+	p := e.procs[e.threads[m.dst].proc]
+	cur := p.current
+	if cur == -1 || e.threads[cur].state != tsComputing {
+		// Processor idle or its thread blocked: service immediately,
+		// serialized behind any ongoing service.
+		at := vtime.Max(e.now, p.svcBusyUntil)
+		e.serviceMessage(p, m, at)
+		return
+	}
+	t := e.threads[cur]
+	switch e.cfg.Policy.Kind {
+	case Interrupt:
+		start := vtime.Max(e.now, p.svcBusyUntil)
+		cost := e.cfg.Policy.InterruptOverhead + e.serviceCost(p, m)
+		e.dispatchService(p, m, start+e.cfg.Policy.InterruptOverhead)
+		p.svcBusyUntil = start + cost
+		t.segEnd += cost
+		e.threads[m.dst].stats.Service += e.cfg.Policy.InterruptOverhead
+		t.gen++
+		if t.pureLeft > 0 {
+			e.fel.schedule(t.segEnd, evPollTick, t.id, t.gen, nil)
+		} else {
+			e.fel.schedule(t.segEnd, evComputeDone, t.id, t.gen, nil)
+		}
+	default: // NoInterrupt and Poll queue until a service opportunity.
+		p.svcQueue = append(p.svcQueue, m)
+	}
+}
+
+// serviceCost returns the processor-occupancy cost of servicing m.
+func (e *engine) serviceCost(p *prc, m *message) vtime.Time {
+	switch m.kind {
+	case mReqRead:
+		replyNet := e.netFor(p.id, e.threads[m.src].proc)
+		return e.cfg.Policy.ServiceTime + replyNet.SendOverhead(m.bytes)
+	case mReqWrite:
+		return e.cfg.Policy.ServiceTime
+	case mBarArrive:
+		return e.cfg.Barrier.CheckTime
+	}
+	panic(fmt.Sprintf("sim: serviceCost of message kind %d", m.kind))
+}
+
+// serviceMessage performs m's handling starting at time at (≥ now),
+// updating the processor's service serialization point and dispatching
+// the message's effect.
+func (e *engine) serviceMessage(p *prc, m *message, at vtime.Time) {
+	if at < p.svcBusyUntil {
+		at = p.svcBusyUntil
+	}
+	p.svcBusyUntil = at + e.serviceCost(p, m)
+	e.dispatchService(p, m, at)
+}
+
+// dispatchService applies the effect of servicing m at time at: sending
+// the read reply, applying the write, or advancing the barrier protocol.
+// Service time is attributed to the destination thread.
+func (e *engine) dispatchService(p *prc, m *message, at vtime.Time) {
+	owner := e.threads[m.dst]
+	owner.stats.Service += e.serviceCost(p, m)
+	switch m.kind {
+	case mReqRead:
+		reqProc := e.threads[m.src].proc
+		net := e.netFor(p.id, reqProc)
+		injectAt := at + e.cfg.Policy.ServiceTime + net.SendOverhead(m.bytes)
+		reply := &message{kind: mReply, src: m.dst, dst: m.src, bytes: m.bytes}
+		raw := net.Inject(injectAt, p.id, reqProc, m.bytes)
+		e.fel.schedule(raw, evMsgArrive, 0, 0, reply)
+		e.emit(injectAt, trace.KindMsgSend, m.dst, int64(m.src), m.bytes, int64(mReply))
+	case mReqWrite:
+		// Effect is instantaneous once serviced; nothing further moves.
+	case mBarArrive:
+		e.barrierArriveServiced(m, at+e.cfg.Barrier.CheckTime)
+	}
+}
+
+// replyArrive completes a remote read: the requester consumes the reply
+// and resumes computing.
+func (e *engine) replyArrive(m *message) {
+	t := e.threads[m.dst]
+	if t.state != tsWaitReply {
+		panic(fmt.Sprintf("sim: reply for thread %d in state %d", t.id, t.state))
+	}
+	p := e.procs[t.proc]
+	net := e.netFor(e.threads[m.src].proc, t.proc)
+	resume := e.now + net.Config().RecvOverhead
+	// If the blocked thread's processor is mid-service, the thread
+	// resumes only when the handler completes.
+	if p.svcBusyUntil > resume {
+		resume = p.svcBusyUntil
+	}
+	e.emit(e.now, trace.KindMsgRecv, t.id, int64(m.src), m.bytes, int64(mReply))
+	ev := t.evs[t.pos]
+	e.emit(resume, trace.KindRemoteRead, t.id, ev.Arg0, ev.Arg1, ev.Arg2)
+	t.stats.CommWait += resume - t.blockAt
+	e.consume(t, ev)
+	e.continueThread(t, resume)
+}

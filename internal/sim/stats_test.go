@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"extrap/internal/vtime"
+)
+
+func TestResultAccessors(t *testing.T) {
+	r := &Result{
+		TotalTime: 100 * vtime.Microsecond,
+		Procs:     4,
+		Barriers:  3,
+		Threads: []ThreadStats{
+			{Compute: 60, CommWait: 20, BarrierWait: 10, Service: 5},
+			{Compute: 40, CommWait: 20, BarrierWait: 30, Service: 15},
+		},
+		Net: NetStats{Messages: 10, Bytes: 1000, TotalTransit: 50 * vtime.Microsecond},
+	}
+	if r.TotalCompute() != 100 {
+		t.Errorf("TotalCompute = %v", r.TotalCompute())
+	}
+	if r.TotalCommWait() != 40 {
+		t.Errorf("TotalCommWait = %v", r.TotalCommWait())
+	}
+	if r.TotalBarrierWait() != 40 {
+		t.Errorf("TotalBarrierWait = %v", r.TotalBarrierWait())
+	}
+	if r.TotalService() != 20 {
+		t.Errorf("TotalService = %v", r.TotalService())
+	}
+	if got := r.CompCommRatio(); got != 2.5 {
+		t.Errorf("CompCommRatio = %v", got)
+	}
+	if FormatRatio(2.5) != "2.50" {
+		t.Errorf("FormatRatio = %q", FormatRatio(2.5))
+	}
+	if FormatRatio(-1) != "∞" {
+		t.Errorf("FormatRatio(-1) = %q", FormatRatio(-1))
+	}
+	// No communication → sentinel.
+	empty := &Result{Threads: []ThreadStats{{Compute: 10}}}
+	if empty.CompCommRatio() >= 0 {
+		t.Error("zero-comm ratio should be the ∞ sentinel")
+	}
+	s := r.String()
+	for _, want := range []string{"procs=4", "barriers=3", "comm-wait="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestNetStatsAvgTransit(t *testing.T) {
+	n := NetStats{Messages: 4, TotalTransit: 100 * vtime.Microsecond}
+	if n.AvgTransit() != 25*vtime.Microsecond {
+		t.Errorf("AvgTransit = %v", n.AvgTransit())
+	}
+	if (NetStats{}).AvgTransit() != 0 {
+		t.Error("empty AvgTransit should be 0")
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if NoInterrupt.String() != "no-interrupt" || Interrupt.String() != "interrupt" ||
+		Poll.String() != "poll" || !strings.Contains(PolicyKind(9).String(), "9") {
+		t.Error("PolicyKind names wrong")
+	}
+	if LinearBarrier.String() != "linear" || TreeBarrier.String() != "tree" ||
+		HardwareBarrier.String() != "hardware" || !strings.Contains(BarrierAlgorithm(9).String(), "9") {
+		t.Error("BarrierAlgorithm names wrong")
+	}
+}

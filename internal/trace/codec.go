@@ -1,0 +1,281 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"extrap/internal/vtime"
+)
+
+// Binary trace format (all integers little-endian):
+//
+//	magic   [5]byte  "XTRP1"
+//	threads uint32
+//	ovh     int64    per-event instrumentation overhead (ns)
+//	nphase  uint32
+//	phases  nphase × (uint16 length, bytes)
+//	nevents uint64
+//	events  nevents × (int64 time, uint8 kind, int32 thread,
+//	                   int64 arg0, int64 arg1, int64 arg2)
+//
+// The format is self-describing enough for the CLI tools and compact
+// enough that full benchmark traces (hundreds of thousands of events)
+// write in milliseconds.
+
+var binaryMagic = [5]byte{'X', 'T', 'R', 'P', '1'}
+
+// errors returned by the codecs.
+var (
+	ErrBadMagic = errors.New("trace: bad magic (not an XTRP1 trace)")
+)
+
+// WriteBinary encodes the trace to w in the binary format.
+func WriteBinary(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	var scratch [29]byte
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(t.NumThreads))
+	binary.LittleEndian.PutUint64(scratch[4:12], uint64(t.EventOverhead))
+	binary.LittleEndian.PutUint32(scratch[12:16], uint32(len(t.Phases)))
+	if _, err := bw.Write(scratch[:16]); err != nil {
+		return err
+	}
+	for _, p := range t.Phases {
+		if len(p) > 0xffff {
+			return fmt.Errorf("trace: phase name too long (%d bytes)", len(p))
+		}
+		binary.LittleEndian.PutUint16(scratch[:2], uint16(len(p)))
+		if _, err := bw.Write(scratch[:2]); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(p); err != nil {
+			return err
+		}
+	}
+	binary.LittleEndian.PutUint64(scratch[:8], uint64(len(t.Events)))
+	if _, err := bw.Write(scratch[:8]); err != nil {
+		return err
+	}
+	for _, e := range t.Events {
+		var rec [37]byte
+		binary.LittleEndian.PutUint64(rec[0:8], uint64(e.Time))
+		rec[8] = byte(e.Kind)
+		binary.LittleEndian.PutUint32(rec[9:13], uint32(e.Thread))
+		binary.LittleEndian.PutUint64(rec[13:21], uint64(e.Arg0))
+		binary.LittleEndian.PutUint64(rec[21:29], uint64(e.Arg1))
+		binary.LittleEndian.PutUint64(rec[29:37], uint64(e.Arg2))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary decodes a trace from r.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [5]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != binaryMagic {
+		return nil, ErrBadMagic
+	}
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	t := &Trace{
+		NumThreads:    int(binary.LittleEndian.Uint32(hdr[:4])),
+		EventOverhead: intToTime(binary.LittleEndian.Uint64(hdr[4:12])),
+	}
+	nphase := binary.LittleEndian.Uint32(hdr[12:16])
+	if nphase > 1<<20 {
+		return nil, fmt.Errorf("trace: implausible phase count %d", nphase)
+	}
+	for i := uint32(0); i < nphase; i++ {
+		var ln [2]byte
+		if _, err := io.ReadFull(br, ln[:]); err != nil {
+			return nil, err
+		}
+		buf := make([]byte, binary.LittleEndian.Uint16(ln[:]))
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		t.Phases = append(t.Phases, string(buf))
+	}
+	var cnt [8]byte
+	if _, err := io.ReadFull(br, cnt[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint64(cnt[:])
+	if n > 1<<32 {
+		return nil, fmt.Errorf("trace: implausible event count %d", n)
+	}
+	t.Events = make([]Event, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var rec [37]byte
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, err
+		}
+		e := Event{
+			Time:   intToTime(binary.LittleEndian.Uint64(rec[0:8])),
+			Kind:   Kind(rec[8]),
+			Thread: int32(binary.LittleEndian.Uint32(rec[9:13])),
+			Arg0:   int64(binary.LittleEndian.Uint64(rec[13:21])),
+			Arg1:   int64(binary.LittleEndian.Uint64(rec[21:29])),
+			Arg2:   int64(binary.LittleEndian.Uint64(rec[29:37])),
+		}
+		if !e.Kind.Valid() {
+			return nil, fmt.Errorf("trace: event %d has invalid kind %d", i, rec[8])
+		}
+		t.Events = append(t.Events, e)
+	}
+	return t, nil
+}
+
+// Text trace format: a small header followed by one event per line,
+// human-readable and diff-friendly:
+//
+//	#xtrp text 1
+//	#threads 8
+//	#overhead 250
+//	#phase 0 init
+//	<time-ns> <kind> t<thread> <arg0> <arg1> <arg2>
+
+// WriteText encodes the trace to w in the line-oriented text format.
+func WriteText(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "#xtrp text 1")
+	fmt.Fprintf(bw, "#threads %d\n", t.NumThreads)
+	fmt.Fprintf(bw, "#overhead %d\n", int64(t.EventOverhead))
+	for i, p := range t.Phases {
+		fmt.Fprintf(bw, "#phase %d %s\n", i, p)
+	}
+	for _, e := range t.Events {
+		if _, err := fmt.Fprintln(bw, e.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText decodes a text-format trace from r.
+func ReadText(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	t := &Trace{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := parseTextHeader(t, line); err != nil {
+				return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		e, err := parseTextEvent(line)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		t.Events = append(t.Events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if t.NumThreads == 0 {
+		return nil, errors.New("trace: missing #threads header")
+	}
+	return t, nil
+}
+
+func parseTextHeader(t *Trace, line string) error {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "#xtrp":
+		return nil
+	case "#threads":
+		if len(fields) != 2 {
+			return errors.New("malformed #threads header")
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return err
+		}
+		t.NumThreads = n
+	case "#overhead":
+		if len(fields) != 2 {
+			return errors.New("malformed #overhead header")
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return err
+		}
+		t.EventOverhead = intToTime(uint64(v))
+	case "#phase":
+		if len(fields) < 3 {
+			return errors.New("malformed #phase header")
+		}
+		id, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return err
+		}
+		for len(t.Phases) <= id {
+			t.Phases = append(t.Phases, "")
+		}
+		t.Phases[id] = strings.Join(fields[2:], " ")
+	default:
+		// Unknown headers are ignored for forward compatibility.
+	}
+	return nil
+}
+
+func parseTextEvent(line string) (Event, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 6 {
+		return Event{}, fmt.Errorf("want 6 fields, got %d", len(fields))
+	}
+	ts, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return Event{}, fmt.Errorf("bad timestamp: %w", err)
+	}
+	kind, ok := KindFromString(fields[1])
+	if !ok {
+		return Event{}, fmt.Errorf("unknown event kind %q", fields[1])
+	}
+	if !strings.HasPrefix(fields[2], "t") {
+		return Event{}, fmt.Errorf("bad thread field %q", fields[2])
+	}
+	th, err := strconv.Atoi(fields[2][1:])
+	if err != nil {
+		return Event{}, fmt.Errorf("bad thread id: %w", err)
+	}
+	var args [3]int64
+	for i := 0; i < 3; i++ {
+		args[i], err = strconv.ParseInt(fields[3+i], 10, 64)
+		if err != nil {
+			return Event{}, fmt.Errorf("bad arg%d: %w", i, err)
+		}
+	}
+	return Event{
+		Time:   intToTime(uint64(ts)),
+		Kind:   kind,
+		Thread: int32(th),
+		Arg0:   args[0],
+		Arg1:   args[1],
+		Arg2:   args[2],
+	}, nil
+}
+
+func intToTime(v uint64) vtime.Time { return vtime.Time(v) }

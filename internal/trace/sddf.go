@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteSDDF exports the trace in an SDDF-A-style self-describing ASCII
+// format (the Pablo trace format of the paper's era, which contemporary
+// analysis tools consumed). Each event kind gets a record descriptor;
+// records carry timestamps in seconds as SDDF tools expect.
+//
+// The export is one-way interop: this repository's native formats remain
+// the binary and text codecs.
+func WriteSDDF(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "/* SDDF-A export — performance extrapolation trace */")
+	fmt.Fprintf(bw, "/* threads: %d, events: %d */\n\n", t.NumThreads, len(t.Events))
+
+	// Record descriptors, one per kind present in the trace.
+	present := map[Kind]bool{}
+	for _, e := range t.Events {
+		present[e.Kind] = true
+	}
+	tag := map[Kind]int{}
+	next := 1
+	for k := KindThreadStart; k < kindCount; k++ {
+		if !present[k] {
+			continue
+		}
+		tag[k] = next
+		fmt.Fprintf(bw, "#%d:\n", next)
+		fmt.Fprintf(bw, "\"%s\" {\n", k)
+		fmt.Fprintln(bw, "\tdouble\t\"timestamp\";")
+		fmt.Fprintln(bw, "\tint\t\"thread\";")
+		switch k {
+		case KindBarrierEntry, KindBarrierExit:
+			fmt.Fprintln(bw, "\tint\t\"barrier\";")
+		case KindRemoteRead, KindRemoteWrite:
+			fmt.Fprintln(bw, "\tint\t\"owner\";")
+			fmt.Fprintln(bw, "\tint\t\"bytes\";")
+			fmt.Fprintln(bw, "\tint\t\"element\";")
+		case KindMsgSend, KindMsgRecv:
+			fmt.Fprintln(bw, "\tint\t\"peer\";")
+			fmt.Fprintln(bw, "\tint\t\"bytes\";")
+			fmt.Fprintln(bw, "\tint\t\"tag\";")
+		case KindPhaseBegin, KindPhaseEnd:
+			fmt.Fprintln(bw, "\tint\t\"phase\";")
+		}
+		fmt.Fprintln(bw, "};;")
+		fmt.Fprintln(bw)
+		next++
+	}
+
+	// Phase-name table as comments (SDDF has no string table).
+	for i, p := range t.Phases {
+		fmt.Fprintf(bw, "/* phase %d: %s */\n", i, p)
+	}
+	if len(t.Phases) > 0 {
+		fmt.Fprintln(bw)
+	}
+
+	// Data records.
+	for _, e := range t.Events {
+		ts := e.Time.Seconds()
+		switch e.Kind {
+		case KindBarrierEntry, KindBarrierExit:
+			fmt.Fprintf(bw, "\"%s\" { %.9f, %d, %d };;\n", e.Kind, ts, e.Thread, e.Arg0)
+		case KindRemoteRead, KindRemoteWrite:
+			_, elem := UnpackRef(e.Arg2)
+			fmt.Fprintf(bw, "\"%s\" { %.9f, %d, %d, %d, %d };;\n",
+				e.Kind, ts, e.Thread, e.Arg0, e.Arg1, elem)
+		case KindMsgSend, KindMsgRecv:
+			fmt.Fprintf(bw, "\"%s\" { %.9f, %d, %d, %d, %d };;\n",
+				e.Kind, ts, e.Thread, e.Arg0, e.Arg1, e.Arg2)
+		case KindPhaseBegin, KindPhaseEnd:
+			fmt.Fprintf(bw, "\"%s\" { %.9f, %d, %d };;\n", e.Kind, ts, e.Thread, e.Arg0)
+		default:
+			fmt.Fprintf(bw, "\"%s\" { %.9f, %d };;\n", e.Kind, ts, e.Thread)
+		}
+	}
+	return bw.Flush()
+}

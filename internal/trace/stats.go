@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"extrap/internal/vtime"
+)
+
+// Stats summarizes a trace: the counts the paper's "trace statistics"
+// inspection step reads off (e.g. "Grid does not have enough barriers —
+// only 650"), plus byte volumes and per-kind totals.
+type Stats struct {
+	NumThreads   int
+	Events       int
+	Barriers     int64 // number of global barriers completed
+	RemoteReads  int64
+	RemoteWrites int64
+	RemoteBytes  int64
+	MsgSends     int64
+	MsgBytes     int64
+	PerKind      map[Kind]int
+	Duration     vtime.Time
+	// RemoteByOwner[o] counts remote accesses whose target is thread o —
+	// a quick skew indicator.
+	RemoteByOwner []int64
+}
+
+// ComputeStats scans the trace and returns its summary.
+func ComputeStats(t *Trace) Stats {
+	s := Stats{
+		NumThreads:    t.NumThreads,
+		Events:        len(t.Events),
+		PerKind:       make(map[Kind]int),
+		Duration:      t.Duration(),
+		RemoteByOwner: make([]int64, t.NumThreads),
+	}
+	var exits int64
+	for _, e := range t.Events {
+		s.PerKind[e.Kind]++
+		switch e.Kind {
+		case KindBarrierExit:
+			exits++
+		case KindRemoteRead:
+			s.RemoteReads++
+			s.RemoteBytes += e.Arg1
+			if int(e.Arg0) < len(s.RemoteByOwner) {
+				s.RemoteByOwner[e.Arg0]++
+			}
+		case KindRemoteWrite:
+			s.RemoteWrites++
+			s.RemoteBytes += e.Arg1
+			if int(e.Arg0) < len(s.RemoteByOwner) {
+				s.RemoteByOwner[e.Arg0]++
+			}
+		case KindMsgSend:
+			s.MsgSends++
+			s.MsgBytes += e.Arg1
+		}
+	}
+	if t.NumThreads > 0 {
+		s.Barriers = exits / int64(t.NumThreads)
+	}
+	return s
+}
+
+// String renders a compact multi-line summary.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "threads=%d events=%d duration=%v\n", s.NumThreads, s.Events, s.Duration)
+	fmt.Fprintf(&b, "barriers=%d remote-reads=%d remote-writes=%d remote-bytes=%d",
+		s.Barriers, s.RemoteReads, s.RemoteWrites, s.RemoteBytes)
+	if s.MsgSends > 0 {
+		fmt.Fprintf(&b, " msgs=%d msg-bytes=%d", s.MsgSends, s.MsgBytes)
+	}
+	return b.String()
+}

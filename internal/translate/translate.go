@@ -1,0 +1,197 @@
+// Package translate implements the trace translation algorithm of the
+// extrapolation technique: it takes the merged trace of an n-thread
+// program measured on one processor and produces n per-thread traces whose
+// timestamps reflect an idealized n-processor execution.
+//
+// The algorithm (Section 3.2 of the paper):
+//
+//   - Non-synchronization events keep their inter-event deltas: if e1 and
+//     e2 are consecutive events of one thread at t1 and t2, and e1 was
+//     adjusted to t1', then e2 is adjusted to t2 − t1 + t1'.
+//   - Barrier exits are adjusted to the translated timestamp of the entry
+//     of the *last* thread to enter that barrier — threads exit the
+//     instant the last one arrives (instant barrier).
+//   - Remote accesses are instantaneous (they cost nothing here; the
+//     simulator charges them later).
+//   - The per-event instrumentation overhead recorded with the trace is
+//     subtracted from every inter-event delta, compensating for
+//     measurement perturbation.
+//
+// The soundness of the delta rule rests on the non-preemptive measurement
+// runtime: between two events a thread was never descheduled, so the gap
+// is pure computation of that thread.
+package translate
+
+import (
+	"fmt"
+
+	"extrap/internal/trace"
+	"extrap/internal/vtime"
+)
+
+// ParallelTrace is the result of translation: one event list per thread,
+// each timestamped as if the threads ran concurrently on n processors
+// with free communication and synchronization.
+type ParallelTrace struct {
+	// NumThreads is n.
+	NumThreads int
+	// Threads[i] holds thread i's translated events in time order.
+	Threads [][]trace.Event
+	// Barriers is the number of global barriers in the program.
+	Barriers int
+	// Phases carries over the phase-name table of the source trace.
+	Phases []string
+}
+
+// Duration returns the idealized parallel execution time: the latest
+// translated event timestamp across all threads.
+func (pt *ParallelTrace) Duration() vtime.Time {
+	var d vtime.Time
+	for _, evs := range pt.Threads {
+		if n := len(evs); n > 0 && evs[n-1].Time > d {
+			d = evs[n-1].Time
+		}
+	}
+	return d
+}
+
+// Events returns the total number of translated events.
+func (pt *ParallelTrace) Events() int {
+	n := 0
+	for _, evs := range pt.Threads {
+		n += len(evs)
+	}
+	return n
+}
+
+// Flatten merges the per-thread translated event lists back into a single
+// time-ordered trace — the form consumed by the codecs and the profile
+// analyzer. The merge is stable by thread id at equal timestamps.
+func (pt *ParallelTrace) Flatten() *trace.Trace {
+	out := trace.New(pt.NumThreads)
+	out.Phases = append([]string(nil), pt.Phases...)
+	idx := make([]int, pt.NumThreads)
+	for {
+		best := -1
+		for t := 0; t < pt.NumThreads; t++ {
+			if idx[t] >= len(pt.Threads[t]) {
+				continue
+			}
+			if best == -1 || pt.Threads[t][idx[t]].Time < pt.Threads[best][idx[best]].Time {
+				best = t
+			}
+		}
+		if best == -1 {
+			return out
+		}
+		out.Append(pt.Threads[best][idx[best]])
+		idx[best]++
+	}
+}
+
+// ThreadTrace extracts thread i's translated events as a standalone trace
+// file — the paper's "n trace files each containing events from one
+// thread".
+func (pt *ParallelTrace) ThreadTrace(i int) *trace.Trace {
+	out := trace.New(pt.NumThreads)
+	out.Phases = append([]string(nil), pt.Phases...)
+	out.Events = append([]trace.Event(nil), pt.Threads[i]...)
+	return out
+}
+
+// Translate converts a validated 1-processor measurement trace into a
+// ParallelTrace. It processes the merged events in measurement order,
+// maintaining per-thread delta chains; because the measurement runtime
+// only switches threads at barriers, all entries of a barrier precede all
+// its exits in the merged order, so barrier release times are complete by
+// the time the first exit is translated.
+func Translate(tr *trace.Trace) (*ParallelTrace, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("translate: %w", err)
+	}
+	n := tr.NumThreads
+	pt := &ParallelTrace{
+		NumThreads: n,
+		Threads:    make([][]trace.Event, n),
+		Phases:     append([]string(nil), tr.Phases...),
+	}
+	for i := range pt.Threads {
+		pt.Threads[i] = []trace.Event{}
+	}
+
+	lastOrig := make([]vtime.Time, n)       // original timestamp of thread's previous event
+	lastTranslated := make([]vtime.Time, n) // translated timestamp of thread's previous event
+	started := make([]bool, n)
+
+	barriers := make(map[int64]*barrierState)
+	maxBarrier := int64(-1)
+
+	for idx, e := range tr.Events {
+		th := int(e.Thread)
+		var tNew vtime.Time
+		if !started[th] {
+			// A thread's first event anchors its chain at time 0: in the
+			// ideal n-processor run all threads start together.
+			tNew = 0
+			started[th] = true
+		} else {
+			delta := e.Time - lastOrig[th] - tr.EventOverhead
+			if delta < 0 {
+				// The overhead estimate exceeded the measured gap (e.g.
+				// back-to-back events); clamp rather than run time
+				// backwards.
+				delta = 0
+			}
+			tNew = lastTranslated[th] + delta
+		}
+
+		switch e.Kind {
+		case trace.KindBarrierEntry:
+			b := barriers[e.Arg0]
+			if b == nil {
+				b = &barrierState{}
+				barriers[e.Arg0] = b
+				if e.Arg0 > maxBarrier {
+					maxBarrier = e.Arg0
+				}
+			}
+			b.entries++
+			if tNew > b.release {
+				b.release = tNew
+			}
+		case trace.KindBarrierExit:
+			b := barriers[e.Arg0]
+			if b == nil || b.entries != n {
+				return nil, fmt.Errorf(
+					"translate: event %d: exit of barrier %d before all %d threads entered (%d so far) — was the measurement preemptive?",
+					idx, e.Arg0, n, entryCount(b))
+			}
+			// Instant barrier: the thread leaves when the last thread
+			// entered, regardless of when the 1-processor scheduler
+			// happened to resume it.
+			tNew = b.release
+		}
+
+		lastOrig[th] = e.Time
+		lastTranslated[th] = tNew
+		e.Time = tNew
+		pt.Threads[th] = append(pt.Threads[th], e)
+	}
+	pt.Barriers = int(maxBarrier + 1)
+	return pt, nil
+}
+
+func entryCount(b *barrierState) int {
+	if b == nil {
+		return 0
+	}
+	return b.entries
+}
+
+// barrierState tracks one global barrier during translation: how many
+// threads have entered and the latest translated entry time (which
+// becomes the release time).
+type barrierState struct {
+	entries int
+	release vtime.Time
+}

@@ -1,0 +1,379 @@
+package translate
+
+import (
+	"testing"
+	"testing/quick"
+
+	"extrap/internal/pcxx"
+	"extrap/internal/trace"
+	"extrap/internal/vtime"
+)
+
+// measure runs a pcxx program and returns its merged measurement trace.
+func measure(t *testing.T, n int, overhead vtime.Time, body func(*pcxx.Thread)) *trace.Trace {
+	t.Helper()
+	cfg := pcxx.DefaultConfig(n)
+	cfg.EventOverhead = overhead
+	rt := pcxx.NewRuntime(cfg)
+	tr, err := rt.Run(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestBarrierReleaseSemantics(t *testing.T) {
+	// Threads compute 100µs, 200µs, 300µs before the barrier; in the
+	// ideal parallel execution, every thread exits at 300µs.
+	tr := measure(t, 3, 0, func(th *pcxx.Thread) {
+		th.Compute(vtime.Time(th.ID()+1) * 100 * vtime.Microsecond)
+		th.Barrier()
+	})
+	pt, err := Translate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := 300 * vtime.Microsecond
+	for th, evs := range pt.Threads {
+		for _, e := range evs {
+			switch e.Kind {
+			case trace.KindBarrierEntry:
+				want := vtime.Time(th+1) * 100 * vtime.Microsecond
+				if e.Time != want {
+					t.Errorf("thread %d entry at %v, want %v", th, e.Time, want)
+				}
+			case trace.KindBarrierExit:
+				if e.Time != release {
+					t.Errorf("thread %d exit at %v, want %v", th, e.Time, release)
+				}
+			}
+		}
+	}
+	if pt.Barriers != 1 {
+		t.Errorf("Barriers = %d, want 1", pt.Barriers)
+	}
+}
+
+func TestIdealSpeedup(t *testing.T) {
+	// A perfectly balanced program: n threads × d compute + b barriers.
+	// 1-processor time = n·d·b; translated parallel time = d·b.
+	const n, b = 4, 3
+	d := 50 * vtime.Microsecond
+	tr := measure(t, n, 0, func(th *pcxx.Thread) {
+		for i := 0; i < b; i++ {
+			th.Compute(d)
+			th.Barrier()
+		}
+	})
+	pt, err := Translate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := pt.Duration(), vtime.Time(b)*d; got != want {
+		t.Fatalf("parallel duration = %v, want %v", got, want)
+	}
+	if tr.Duration() != vtime.Time(n*b)*d {
+		t.Fatalf("serial duration = %v, want %v", tr.Duration(), vtime.Time(n*b)*d)
+	}
+}
+
+func TestDeltasPreserved(t *testing.T) {
+	// For consecutive non-sync events of one thread, translated deltas
+	// must equal original deltas (zero overhead case).
+	tr := measure(t, 2, 0, func(th *pcxx.Thread) {
+		c := 10 * vtime.Microsecond
+		th.Compute(c)
+		th.Barrier()
+		th.Compute(2 * c)
+		th.Barrier()
+	})
+	pt, err := Translate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := tr.PerThread()
+	for th := range pt.Threads {
+		if len(orig[th]) != len(pt.Threads[th]) {
+			t.Fatalf("thread %d: event count changed", th)
+		}
+		for i := 1; i < len(orig[th]); i++ {
+			if orig[th][i].Kind.Valid() && orig[th][i].Kind != trace.KindBarrierExit &&
+				orig[th][i-1].Kind != trace.KindBarrierExit {
+				od := orig[th][i].Time - orig[th][i-1].Time
+				nd := pt.Threads[th][i].Time - pt.Threads[th][i-1].Time
+				if od != nd {
+					t.Errorf("thread %d event %d: delta %v → %v", th, i, od, nd)
+				}
+			}
+		}
+	}
+}
+
+func TestOverheadCompensation(t *testing.T) {
+	// The same program measured with and without instrumentation overhead
+	// must translate to identical parallel traces.
+	prog := func(th *pcxx.Thread) {
+		th.Compute(vtime.Time(th.ID()+1) * 20 * vtime.Microsecond)
+		th.Barrier()
+		th.Compute(30 * vtime.Microsecond)
+		th.Barrier()
+	}
+	clean := measure(t, 3, 0, prog)
+	perturbed := measure(t, 3, 5*vtime.Microsecond, prog)
+	a, err := Translate(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Translate(perturbed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Duration() != b.Duration() {
+		t.Fatalf("durations differ: clean %v vs perturbed %v", a.Duration(), b.Duration())
+	}
+	for th := range a.Threads {
+		if len(a.Threads[th]) != len(b.Threads[th]) {
+			t.Fatalf("thread %d event counts differ", th)
+		}
+		for i := range a.Threads[th] {
+			if a.Threads[th][i].Time != b.Threads[th][i].Time {
+				t.Errorf("thread %d event %d: %v vs %v (overhead not compensated)",
+					th, i, a.Threads[th][i].Time, b.Threads[th][i].Time)
+			}
+		}
+	}
+}
+
+func TestEventsAndPhasesCarriedOver(t *testing.T) {
+	tr := measure(t, 2, 0, func(th *pcxx.Thread) {
+		th.Phase("work", func() { th.Compute(5 * vtime.Microsecond) })
+		th.Barrier()
+	})
+	pt, err := Translate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Events() != len(tr.Events) {
+		t.Fatalf("Events() = %d, want %d", pt.Events(), len(tr.Events))
+	}
+	if len(pt.Phases) != 1 || pt.Phases[0] != "work" {
+		t.Fatalf("Phases = %v", pt.Phases)
+	}
+}
+
+func TestPerThreadMonotonicity(t *testing.T) {
+	tr := measure(t, 4, 2*vtime.Microsecond, func(th *pcxx.Thread) {
+		for i := 0; i < 5; i++ {
+			th.Compute(vtime.Time((th.ID()*7+i*3)%11+1) * vtime.Microsecond)
+			th.Barrier()
+		}
+	})
+	pt, err := Translate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for th, evs := range pt.Threads {
+		var last vtime.Time
+		for i, e := range evs {
+			if e.Time < last {
+				t.Fatalf("thread %d event %d: time %v < previous %v", th, i, e.Time, last)
+			}
+			last = e.Time
+		}
+	}
+}
+
+func TestBarrierExitNotBeforeAnyEntry(t *testing.T) {
+	tr := measure(t, 3, 0, func(th *pcxx.Thread) {
+		th.Compute(vtime.Time(th.ID()*13+7) * vtime.Microsecond)
+		th.Barrier()
+		th.Compute(vtime.Time((th.ID()*5)%4+2) * vtime.Microsecond)
+		th.Barrier()
+	})
+	pt, err := Translate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := map[int64]vtime.Time{}
+	for _, evs := range pt.Threads {
+		for _, e := range evs {
+			if e.Kind == trace.KindBarrierEntry && e.Time > entries[e.Arg0] {
+				entries[e.Arg0] = e.Time
+			}
+		}
+	}
+	for _, evs := range pt.Threads {
+		for _, e := range evs {
+			if e.Kind == trace.KindBarrierExit && e.Time != entries[e.Arg0] {
+				t.Fatalf("barrier %d exit at %v, last entry at %v", e.Arg0, e.Time, entries[e.Arg0])
+			}
+		}
+	}
+}
+
+func TestRejectsMalformedTrace(t *testing.T) {
+	tr := trace.New(2)
+	tr.Append(trace.Event{Time: 0, Kind: trace.KindBarrierExit, Thread: 0, Arg0: 0})
+	if _, err := Translate(tr); err == nil {
+		t.Fatal("Translate accepted malformed trace")
+	}
+}
+
+func TestThreadStartsAnchorAtZero(t *testing.T) {
+	tr := measure(t, 3, 0, func(th *pcxx.Thread) {
+		th.Compute(10 * vtime.Microsecond)
+		th.Barrier()
+	})
+	pt, err := Translate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for th, evs := range pt.Threads {
+		if len(evs) == 0 {
+			t.Fatalf("thread %d has no events", th)
+		}
+		if evs[0].Kind != trace.KindThreadStart || evs[0].Time != 0 {
+			t.Fatalf("thread %d first event %+v, want thread-start at 0", th, evs[0])
+		}
+	}
+}
+
+func TestTranslatePropertyBalancedPrograms(t *testing.T) {
+	// Property: for any per-thread compute times, the translated duration
+	// up to a single barrier equals the max compute time, and the serial
+	// duration equals the sum.
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 || len(raw) > 16 {
+			return true
+		}
+		n := len(raw)
+		times := make([]vtime.Time, n)
+		var sum, max vtime.Time
+		for i, r := range raw {
+			times[i] = vtime.Time(r) * vtime.Microsecond
+			sum += times[i]
+			if times[i] > max {
+				max = times[i]
+			}
+		}
+		cfg := pcxx.DefaultConfig(n)
+		rt := pcxx.NewRuntime(cfg)
+		tr, err := rt.Run(func(th *pcxx.Thread) {
+			th.Compute(times[th.ID()])
+			th.Barrier()
+		})
+		if err != nil {
+			return false
+		}
+		pt, err := Translate(tr)
+		if err != nil {
+			return false
+		}
+		return pt.Duration() == max && tr.Duration() == sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiBarrierChaining(t *testing.T) {
+	// Imbalance alternates between threads; translated duration is the
+	// sum over barrier phases of the per-phase maximum.
+	const n = 2
+	phase := [][]vtime.Time{
+		{10 * vtime.Microsecond, 40 * vtime.Microsecond},
+		{30 * vtime.Microsecond, 5 * vtime.Microsecond},
+		{20 * vtime.Microsecond, 20 * vtime.Microsecond},
+	}
+	want := (40 + 30 + 20) * vtime.Microsecond
+	tr := measure(t, n, 0, func(th *pcxx.Thread) {
+		for _, p := range phase {
+			th.Compute(p[th.ID()])
+			th.Barrier()
+		}
+	})
+	pt, err := Translate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Duration() != want {
+		t.Fatalf("Duration = %v, want %v", pt.Duration(), want)
+	}
+}
+
+func TestRemoteEventsInstantaneous(t *testing.T) {
+	// A remote read between two computes adds no time in the translated
+	// trace (costs are the simulator's job).
+	cfg := pcxx.DefaultConfig(2)
+	rt := pcxx.NewRuntime(cfg)
+	c := pcxx.PerThread[float64](rt, "x", 8)
+	tr, err := rt.Run(func(th *pcxx.Thread) {
+		*c.Local(th, th.ID()) = 1
+		th.Barrier()
+		th.Compute(10 * vtime.Microsecond)
+		_ = c.Read(th, (th.ID()+1)%2)
+		th.Compute(10 * vtime.Microsecond)
+		th.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := Translate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second barrier entry at 10+10 µs after first exit for each thread.
+	for th, evs := range pt.Threads {
+		var exit0, entry1 vtime.Time
+		for _, e := range evs {
+			if e.Kind == trace.KindBarrierExit && e.Arg0 == 0 {
+				exit0 = e.Time
+			}
+			if e.Kind == trace.KindBarrierEntry && e.Arg0 == 1 {
+				entry1 = e.Time
+			}
+		}
+		if entry1-exit0 != 20*vtime.Microsecond {
+			t.Fatalf("thread %d: compute between barriers = %v, want 20µs", th, entry1-exit0)
+		}
+	}
+}
+
+func TestFlattenAndThreadTrace(t *testing.T) {
+	tr := measure(t, 3, 0, func(th *pcxx.Thread) {
+		th.Compute(vtime.Time(th.ID()+1) * 10 * vtime.Microsecond)
+		th.Barrier()
+		th.Compute(5 * vtime.Microsecond)
+		th.Barrier()
+	})
+	pt, err := Translate(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := pt.Flatten()
+	if len(flat.Events) != pt.Events() {
+		t.Fatalf("Flatten dropped events: %d vs %d", len(flat.Events), pt.Events())
+	}
+	var last vtime.Time
+	for i, e := range flat.Events {
+		if e.Time < last {
+			t.Fatalf("Flatten unsorted at %d", i)
+		}
+		last = e.Time
+	}
+	if flat.Duration() != pt.Duration() {
+		t.Fatalf("Flatten duration %v != %v", flat.Duration(), pt.Duration())
+	}
+	// Per-thread extraction matches the translated lists exactly.
+	for i := 0; i < 3; i++ {
+		tt := pt.ThreadTrace(i)
+		if len(tt.Events) != len(pt.Threads[i]) {
+			t.Fatalf("ThreadTrace(%d) has %d events, want %d", i, len(tt.Events), len(pt.Threads[i]))
+		}
+		for j := range tt.Events {
+			if tt.Events[j] != pt.Threads[i][j] {
+				t.Fatalf("ThreadTrace(%d) event %d differs", i, j)
+			}
+		}
+	}
+}
