@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: all build test race vet bench
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Snapshot the hot-path benchmarks into BENCH_baseline.json. Compare a
+# working tree against the committed snapshot by re-running and diffing.
+bench:
+	./scripts/bench.sh > BENCH_baseline.json
+	@cat BENCH_baseline.json

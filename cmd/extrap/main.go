@@ -583,6 +583,7 @@ func cmdCalibrate(out io.Writer) error {
 func cmdExperiment(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "small problem sizes and a short processor ladder")
+	workers := fs.Int("workers", 0, "worker goroutines for the measurement/simulation grid (0 = all CPUs, 1 = sequential; output is identical at any value)")
 	csvDir := fs.String("csv", "", "also write each table as CSV into this directory")
 	svgDir := fs.String("svg", "", "also write each figure as SVG into this directory")
 	if err := fs.Parse(args); err != nil {
@@ -603,7 +604,7 @@ func cmdExperiment(args []string, w io.Writer) error {
 		exps = []experiments.Experiment{e}
 	}
 	for _, e := range exps {
-		out, err := e.Run(experiments.Options{Quick: *quick})
+		out, err := e.Run(experiments.Options{Quick: *quick, Workers: *workers})
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}

@@ -120,17 +120,9 @@ type ProgramFactory func(threads int) Program
 // each to the same number of processors under cfg, returning the scaling
 // series. The per-count measurement matches the paper's method: each
 // processor count gets its own n-thread, 1-processor measurement run.
+// SweepProcs runs sequentially; ParallelSweep is the concurrent form.
 func SweepProcs(f ProgramFactory, opts MeasureOptions, cfg sim.Config, procCounts []int) ([]metrics.Point, error) {
-	points := make([]metrics.Point, 0, len(procCounts))
-	for _, n := range procCounts {
-		p := f(n)
-		out, err := Run(p, opts, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("core: sweep at %d procs: %w", n, err)
-		}
-		points = append(points, metrics.Point{Procs: n, Time: out.Result.TotalTime})
-	}
-	return points, nil
+	return ParallelSweep(f, opts, cfg, procCounts, 1)
 }
 
 // DefaultProcCounts is the paper's processor scaling ladder.

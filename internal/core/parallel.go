@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"extrap/internal/metrics"
+	"extrap/internal/pool"
+	"extrap/internal/sim"
+	"extrap/internal/trace"
+	"extrap/internal/translate"
+)
+
+// ParallelSweep is the concurrent form of SweepProcs: it measures and
+// extrapolates every processor count of the ladder across at most
+// workers goroutines (≤ 0 selects GOMAXPROCS). Results land in ladder
+// order and errors surface exactly as the sequential sweep would report
+// them, so any worker count produces identical output — measurement is
+// deterministic (fixed seed) and each point's pipeline is independent.
+func ParallelSweep(f ProgramFactory, opts MeasureOptions, cfg sim.Config, procCounts []int, workers int) ([]metrics.Point, error) {
+	points := make([]metrics.Point, len(procCounts))
+	err := pool.Run(workers, len(procCounts), func(i int) error {
+		n := procCounts[i]
+		out, err := Run(f(n), opts, cfg)
+		if err != nil {
+			return fmt.Errorf("core: sweep at %d procs: %w", n, err)
+		}
+		points[i] = metrics.Point{Procs: n, Time: out.Result.TotalTime}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
+// CacheKey identifies one deterministic measurement run for memoization:
+// the program (benchmark name plus any variant tag), its size
+// parameters, the thread count, and the full measurement options. Two
+// runs with equal keys produce byte-identical traces because the
+// measurement runtime is seeded deterministically and programs take no
+// other input.
+type CacheKey struct {
+	// Bench names the program; include any variant parameters that
+	// change the program's behavior (e.g. a matmul distribution pair).
+	Bench string
+	// N and Iters are the problem-size parameters.
+	N, Iters int
+	// Verify records whether result verification ran (it changes the
+	// instruction stream, hence the trace).
+	Verify bool
+	// Threads is the measured thread count.
+	Threads int
+	// Opts is the full measurement configuration.
+	Opts MeasureOptions
+}
+
+// cacheEntry holds one memoized measurement and its lazily computed
+// translation. The sync.Onces give singleflight semantics: concurrent
+// requests for the same key share one measurement run instead of
+// duplicating it.
+type cacheEntry struct {
+	measureOnce   sync.Once
+	tr            *trace.Trace
+	err           error
+	translateOnce sync.Once
+	pt            *translate.ParallelTrace
+	terr          error
+}
+
+// TraceCache memoizes measurement traces (and their translations) across
+// the cells of a parameter-grid experiment. Grids vary only the
+// simulation Config between cells, so each distinct measurement runs
+// once and is then simulated under every configuration — which is safe
+// because Translate and Simulate treat their inputs as read-only (a
+// guard test enforces this).
+//
+// A TraceCache is safe for concurrent use. Cached traces are shared, not
+// copied: callers must not mutate them.
+type TraceCache struct {
+	mu      sync.Mutex
+	entries map[CacheKey]*cacheEntry
+	lookups atomic.Int64
+	misses  atomic.Int64
+}
+
+// NewTraceCache returns an empty cache.
+func NewTraceCache() *TraceCache {
+	return &TraceCache{entries: make(map[CacheKey]*cacheEntry)}
+}
+
+// entry returns (creating if needed) the entry for key.
+func (c *TraceCache) entry(key CacheKey) *cacheEntry {
+	c.lookups.Add(1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[key]
+	if e == nil {
+		e = &cacheEntry{}
+		c.entries[key] = e
+	}
+	return e
+}
+
+// Measure returns the memoized measurement trace for key, running
+// measure on first use. Concurrent callers with the same key block until
+// the single measurement completes and then share its trace.
+func (c *TraceCache) Measure(key CacheKey, measure func() (*trace.Trace, error)) (*trace.Trace, error) {
+	e := c.entry(key)
+	e.measureOnce.Do(func() {
+		c.misses.Add(1)
+		e.tr, e.err = measure()
+	})
+	return e.tr, e.err
+}
+
+// Translated returns the memoized translation of the measurement for
+// key, measuring and translating on first use.
+func (c *TraceCache) Translated(key CacheKey, measure func() (*trace.Trace, error)) (*translate.ParallelTrace, error) {
+	e := c.entry(key)
+	e.measureOnce.Do(func() {
+		c.misses.Add(1)
+		e.tr, e.err = measure()
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	e.translateOnce.Do(func() {
+		e.pt, e.terr = translate.Translate(e.tr)
+	})
+	return e.pt, e.terr
+}
+
+// Stats reports cache effectiveness: hits is the number of lookups
+// served from memory, misses the number of measurement runs performed.
+func (c *TraceCache) Stats() (hits, misses int64) {
+	m := c.misses.Load()
+	return c.lookups.Load() - m, m
+}

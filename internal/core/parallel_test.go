@@ -1,0 +1,131 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"extrap/internal/trace"
+)
+
+// TestParallelSweepMatchesSequential: the concurrent sweep must be
+// observably identical to the sequential one at any worker count.
+func TestParallelSweepMatchesSequential(t *testing.T) {
+	procs := []int{1, 2, 4, 8}
+	want, err := ParallelSweep(testProgram, MeasureOptions{}, freeConfig(), procs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 4} {
+		got, err := ParallelSweep(testProgram, MeasureOptions{}, freeConfig(), procs, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: points %v, want %v", workers, got, want)
+		}
+	}
+}
+
+func TestSweepProcsStillSequential(t *testing.T) {
+	pts, err := SweepProcs(testProgram, MeasureOptions{}, freeConfig(), []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].Procs != 1 || pts[1].Procs != 2 {
+		t.Fatalf("unexpected points %v", pts)
+	}
+}
+
+// TestTraceCacheSingleflight: concurrent lookups of one key run the
+// measurement exactly once and share the resulting trace pointer.
+func TestTraceCacheSingleflight(t *testing.T) {
+	c := NewTraceCache()
+	key := CacheKey{Bench: "test", N: 8, Iters: 3, Threads: 4}
+	var calls int
+	var mu sync.Mutex
+	measure := func() (*trace.Trace, error) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		return Measure(testProgram(4), MeasureOptions{})
+	}
+
+	const goroutines = 8
+	got := make([]*trace.Trace, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tr, err := c.Measure(key, measure)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[g] = tr
+		}(g)
+	}
+	wg.Wait()
+
+	if calls != 1 {
+		t.Errorf("measurement ran %d times, want 1", calls)
+	}
+	for g := 1; g < goroutines; g++ {
+		if got[g] != got[0] {
+			t.Errorf("goroutine %d got a different trace pointer", g)
+		}
+	}
+	hits, misses := c.Stats()
+	if misses != 1 || hits != goroutines-1 {
+		t.Errorf("Stats() = %d hits, %d misses; want %d, 1", hits, misses, goroutines-1)
+	}
+}
+
+// TestTraceCacheKeysDistinct: distinct keys are measured independently.
+func TestTraceCacheKeysDistinct(t *testing.T) {
+	c := NewTraceCache()
+	for _, threads := range []int{2, 4, 2, 4, 2} {
+		_, err := c.Measure(CacheKey{Bench: "test", Threads: threads}, func() (*trace.Trace, error) {
+			return Measure(testProgram(threads), MeasureOptions{})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := c.Stats()
+	if misses != 2 || hits != 3 {
+		t.Errorf("Stats() = %d hits, %d misses; want 3, 2", hits, misses)
+	}
+}
+
+// TestTraceCacheTranslated: translation is memoized on top of the
+// measurement and the measure error is surfaced without caching a trace.
+func TestTraceCacheTranslated(t *testing.T) {
+	c := NewTraceCache()
+	key := CacheKey{Bench: "test", Threads: 4}
+	pt1, err := c.Translated(key, func() (*trace.Trace, error) {
+		return Measure(testProgram(4), MeasureOptions{})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt2, err := c.Translated(key, func() (*trace.Trace, error) {
+		t.Error("measure ran again on a cached key")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt1 != pt2 {
+		t.Error("translation not shared between lookups")
+	}
+
+	boom := errors.New("measure failed")
+	if _, err := c.Translated(CacheKey{Bench: "bad"}, func() (*trace.Trace, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Errorf("got %v, want %v", err, boom)
+	}
+}

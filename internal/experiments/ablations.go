@@ -37,15 +37,20 @@ func runAblationBarrier(opts Options) (*Output, error) {
 		{"logarithmic tree", sim.TreeBarrier},
 		{"hardware (CM-5 control net)", sim.HardwareBarrier},
 	}
-	for _, a := range algorithms {
+	r := newRunner(opts)
+	jobs := make([]sweepJob, len(algorithms))
+	for i, a := range algorithms {
 		cfg := machine.GenericDM().Config
 		cfg.Barrier.Algorithm = a.alg
 		cfg.Barrier.HardwareTime = 3 * vtime.Microsecond
-		points, err := sweep(cy.Factory(opts.size(cy)), pcxx.ActualSize, cfg, opts.procs())
-		if err != nil {
-			return nil, err
-		}
-		fig.Add(a.name, times(points))
+		jobs[i] = r.job(cy, pcxx.ActualSize, cfg, opts.procs())
+	}
+	series, err := r.runGrid(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, a := range algorithms {
+		fig.Add(a.name, times(series[i]))
 	}
 	fig.Notes = []string{"the linear master-slave barrier is an upper bound on synchronization cost (Section 3.3.3)"}
 	out.Figures = append(out.Figures, fig)
@@ -63,14 +68,20 @@ func runAblationContention(opts Options) (*Output, error) {
 	fig := report.Figure{
 		Title: "Sparse execution time with and without contention", XLabel: "procs", YLabel: "ms", X: opts.procs(),
 	}
-	for _, factor := range []float64{0, 0.05, 0.25} {
+	factors := []float64{0, 0.05, 0.25}
+	r := newRunner(opts)
+	jobs := make([]sweepJob, len(factors))
+	for i, factor := range factors {
 		cfg := machine.GenericDM().Config
 		cfg.Comm.ContentionFactor = factor
-		points, err := sweep(sp.Factory(opts.size(sp)), pcxx.ActualSize, cfg, opts.procs())
-		if err != nil {
-			return nil, err
-		}
-		fig.Add(fmt.Sprintf("contention=%.2f", factor), times(points))
+		jobs[i] = r.job(sp, pcxx.ActualSize, cfg, opts.procs())
+	}
+	series, err := r.runGrid(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, factor := range factors {
+		fig.Add(fmt.Sprintf("contention=%.2f", factor), times(series[i]))
 	}
 	out.Figures = append(out.Figures, fig)
 	return out, nil
@@ -85,21 +96,32 @@ func runAblationMultithread(opts Options) (*Output, error) {
 		Columns: []string{"benchmark", "m procs", "time", "speedup vs m=1"},
 	}
 	const threads = 16
-	for _, name := range []string{"embar", "grid"} {
+	benchNames := []string{"embar", "grid"}
+	msizes := []int{1, 2, 4, 8, 16}
+	// Each benchmark is one 16-thread measurement, memoized across all
+	// five simulated processor counts.
+	r := newRunner(opts)
+	var jobs []sweepJob
+	for _, name := range benchNames {
 		b, err := benchmarks.ByName(name)
 		if err != nil {
 			return nil, err
 		}
-		var base vtime.Time
-		for _, m := range []int{1, 2, 4, 8, 16} {
+		for _, m := range msizes {
 			cfg := machine.GenericDM().Config
 			cfg.Procs = m
 			cfg.ContextSwitchTime = 20 * vtime.Microsecond
-			points, err := sweep(b.Factory(opts.size(b)), pcxx.ActualSize, cfg, []int{threads})
-			if err != nil {
-				return nil, err
-			}
-			t := points[0].Time
+			jobs = append(jobs, r.job(b, pcxx.ActualSize, cfg, []int{threads}))
+		}
+	}
+	series, err := r.runGrid(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for bi, name := range benchNames {
+		var base vtime.Time
+		for mi, m := range msizes {
+			t := series[bi*len(msizes)+mi][0].Time
 			if m == 1 {
 				base = t
 			}

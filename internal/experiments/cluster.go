@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"extrap/internal/benchmarks"
+	"extrap/internal/core"
 	"extrap/internal/machine"
+	"extrap/internal/pcxx"
 	"extrap/internal/report"
 	"extrap/internal/sim"
 	"extrap/internal/sim/network"
@@ -52,37 +54,57 @@ func runAblationCluster(opts Options) (*Output, error) {
 		Columns: []string{"cluster size", "placement", "time",
 			"network msgs", "note"},
 	}
-	tr, err := measureOnce(grid, size, threads)
+	// One measurement and one translation feed every cell; only the
+	// simulations fan out.
+	r := newRunner(opts)
+	mopts := core.MeasureOptions{SizeMode: pcxx.ActualSize}
+	pt, err := r.translated(grid.Name(), size, threads, mopts, grid.Factory(size))
 	if err != nil {
 		return nil, err
 	}
 	// Multiplex two threads per processor so placement has something to
 	// decide (with a 1:1 mapping both policies are the identity).
 	procs := threads / 2
+	type cell struct {
+		cs  int
+		pl  sim.Placement
+		res *sim.Result
+	}
+	var cells []cell
 	for _, cs := range []int{1, 2, 4, procs} {
 		if cs > procs {
 			continue
 		}
 		for _, pl := range []sim.Placement{sim.BlockPlacement, sim.CyclicPlacement} {
-			cfg := machine.GenericDM().Config
-			cfg.Procs = procs
-			cfg.ClusterSize = cs
-			cfg.IntraComm = intra
-			cfg.Placement = pl
-			cfg.ContextSwitchTime = 10 * vtime.Microsecond
-			o, err := extrapolateTrace(tr, cfg)
-			if err != nil {
-				return nil, err
-			}
-			note := ""
-			switch {
-			case cs == 1:
-				note = "pure distributed memory"
-			case cs >= procs:
-				note = "pure shared memory"
-			}
-			tab.AddRow(cs, pl.String(), o.TotalTime.String(), o.Net.Messages, note)
+			cells = append(cells, cell{cs: cs, pl: pl})
 		}
+	}
+	err = r.each(len(cells), func(i int) error {
+		cfg := machine.GenericDM().Config
+		cfg.Procs = procs
+		cfg.ClusterSize = cells[i].cs
+		cfg.IntraComm = intra
+		cfg.Placement = cells[i].pl
+		cfg.ContextSwitchTime = 10 * vtime.Microsecond
+		res, err := simulate(pt, cfg)
+		if err != nil {
+			return err
+		}
+		cells[i].res = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range cells {
+		note := ""
+		switch {
+		case c.cs == 1:
+			note = "pure distributed memory"
+		case c.cs >= procs:
+			note = "pure shared memory"
+		}
+		tab.AddRow(c.cs, c.pl.String(), c.res.TotalTime.String(), c.res.Net.Messages, note)
 	}
 	tab.Notes = []string{
 		"larger clusters convert inter-processor reads into cheap shared-memory accesses;",

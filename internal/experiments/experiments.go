@@ -10,14 +10,12 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"extrap/internal/benchmarks"
 	"extrap/internal/core"
 	"extrap/internal/metrics"
-	"extrap/internal/pcxx"
 	"extrap/internal/report"
-	"extrap/internal/sim"
-	"extrap/internal/trace"
 )
 
 // Options controls an experiment run.
@@ -28,6 +26,11 @@ type Options struct {
 	// Quick shrinks problem sizes and the ladder for fast smoke runs
 	// (used by tests); results keep their shape but not their magnitude.
 	Quick bool
+	// Workers bounds the goroutines used for an experiment's measurement
+	// and simulation grid: ≤ 0 means GOMAXPROCS, 1 runs sequentially.
+	// Any value produces identical Output — measurement is deterministic
+	// and results are assembled in a fixed order.
+	Workers int
 }
 
 func (o Options) procs() []int {
@@ -92,53 +95,46 @@ type Experiment struct {
 	Run   func(Options) (*Output, error)
 }
 
-var registry []Experiment
+var (
+	registry []Experiment
+	regOnce  sync.Once
+	regIDs   []string
+	regIndex map[string]int
+)
 
 func register(e Experiment) { registry = append(registry, e) }
 
+// indexRegistry sorts the registry and builds the id list and lookup map
+// exactly once (registration only happens from init functions, so by the
+// first lookup the set is final).
+func indexRegistry() {
+	sort.Slice(registry, func(i, j int) bool { return registry[i].ID < registry[j].ID })
+	regIDs = make([]string, len(registry))
+	regIndex = make(map[string]int, len(registry))
+	for i, e := range registry {
+		regIDs[i] = e.ID
+		regIndex[e.ID] = i
+	}
+}
+
 // All returns the registered experiments sorted by id.
 func All() []Experiment {
-	out := append([]Experiment(nil), registry...)
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	regOnce.Do(indexRegistry)
+	return append([]Experiment(nil), registry...)
 }
 
 // ByID returns the driver for an experiment id.
 func ByID(id string) (Experiment, error) {
-	for _, e := range registry {
-		if e.ID == id {
-			return e, nil
-		}
+	regOnce.Do(indexRegistry)
+	if i, ok := regIndex[id]; ok {
+		return registry[i], nil
 	}
 	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, ids())
 }
 
 func ids() []string {
-	var out []string
-	for _, e := range All() {
-		out = append(out, e.ID)
-	}
-	return out
-}
-
-// sweep measures a benchmark at each processor count and extrapolates it
-// under cfg (one measurement per count, as the paper did).
-func sweep(f core.ProgramFactory, mode pcxx.SizeMode, cfg sim.Config, procs []int) ([]metrics.Point, error) {
-	return core.SweepProcs(f, core.MeasureOptions{SizeMode: mode}, cfg, procs)
-}
-
-// measureOnce runs a single measurement of a benchmark.
-func measureOnce(b benchmarks.Benchmark, size benchmarks.Size, threads int) (*trace.Trace, error) {
-	return core.Measure(b.Factory(size)(threads), core.MeasureOptions{SizeMode: pcxx.ActualSize})
-}
-
-// extrapolateTrace simulates an existing trace under cfg.
-func extrapolateTrace(tr *trace.Trace, cfg sim.Config) (*sim.Result, error) {
-	out, err := core.Extrapolate(tr, cfg)
-	if err != nil {
-		return nil, err
-	}
-	return out.Result, nil
+	regOnce.Do(indexRegistry)
+	return regIDs
 }
 
 // times extracts the execution times (ms) of a point series.

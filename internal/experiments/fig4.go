@@ -36,11 +36,18 @@ func runFig4(opts Options) (*Output, error) {
 		Title:   "Figure 4 data",
 		Columns: []string{"benchmark", "procs", "time", "speedup", "efficiency"},
 	}
-	for _, b := range benchmarks.Suite() {
-		points, err := sweep(b.Factory(opts.size(b)), pcxx.CompilerEstimate, env.Config, opts.procs())
-		if err != nil {
-			return nil, err
-		}
+	r := newRunner(opts)
+	suite := benchmarks.Suite()
+	jobs := make([]sweepJob, len(suite))
+	for i, b := range suite {
+		jobs[i] = r.job(b, pcxx.CompilerEstimate, env.Config, opts.procs())
+	}
+	series, err := r.runGrid(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range suite {
+		points := series[i]
 		sp := metrics.Speedup(points)
 		eff := metrics.Efficiency(points)
 		speedFig.Add(b.Name(), sp)

@@ -37,22 +37,32 @@ func runFig6(opts Options) (*Output, error) {
 		{"mgrid", "speedup", "(iv) Mgrid speedup"},
 		{"poisson", "speedup", "(extra) Poisson speedup"},
 	}
+	// One job per (benchmark, ratio) curve; the memo cache shares each
+	// benchmark's per-ladder measurements across all three ratios.
+	r := newRunner(opts)
+	var jobs []sweepJob
 	for _, g := range graphs {
 		b, err := benchmarks.ByName(g.bench)
 		if err != nil {
 			return nil, err
 		}
+		for _, ratio := range ratios {
+			cfg := machine.GenericDM().Config
+			cfg.MipsRatio = ratio
+			jobs = append(jobs, r.job(b, pcxx.ActualSize, cfg, opts.procs()))
+		}
+	}
+	series, err := r.runGrid(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for gi, g := range graphs {
 		fig := report.Figure{
 			Title:  fmt.Sprintf("Figure 6 %s", g.label),
 			XLabel: "procs", YLabel: g.metric, X: opts.procs(),
 		}
-		for _, ratio := range ratios {
-			cfg := machine.GenericDM().Config
-			cfg.MipsRatio = ratio
-			points, err := sweep(b.Factory(opts.size(b)), pcxx.ActualSize, cfg, opts.procs())
-			if err != nil {
-				return nil, err
-			}
+		for ri, ratio := range ratios {
+			points := series[gi*len(ratios)+ri]
 			name := fmt.Sprintf("MipsRatio=%.1f", ratio)
 			if g.metric == "time" {
 				fig.Add(name, times(points))

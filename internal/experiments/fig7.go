@@ -40,15 +40,25 @@ func runFig7(opts Options) (*Output, error) {
 		Title:   "Minimum-time processor count",
 		Columns: []string{"MipsRatio", "CommStartupTime", "best procs", "best time"},
 	}
+	// Six configurations over one benchmark: the memo cache measures each
+	// ladder point once and simulates it under all six parameter sets.
+	r := newRunner(opts)
+	var jobs []sweepJob
 	for _, ratio := range ratios {
 		for _, su := range startups {
 			cfg := machine.GenericDM().Config
 			cfg.MipsRatio = ratio
 			cfg.Comm.StartupTime = su
-			points, err := sweep(mgrid.Factory(opts.size(mgrid)), pcxx.ActualSize, cfg, opts.procs())
-			if err != nil {
-				return nil, err
-			}
+			jobs = append(jobs, r.job(mgrid, pcxx.ActualSize, cfg, opts.procs()))
+		}
+	}
+	series, err := r.runGrid(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for ri, ratio := range ratios {
+		for si, su := range startups {
+			points := series[ri*len(startups)+si]
 			name := fmt.Sprintf("ratio=%.2f startup=%v", ratio, su)
 			fig.Add(name, times(points))
 			best := metrics.MinTimePoint(points)

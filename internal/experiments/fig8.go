@@ -37,24 +37,32 @@ func runFig8(opts Options) (*Output, error) {
 	}
 
 	out := &Output{ID: "fig8", Title: "Remote data request service policies"}
-	for _, benchName := range []string{"cyclic", "grid"} {
+	benchNames := []string{"cyclic", "grid"}
+	r := newRunner(opts)
+	var jobs []sweepJob
+	for _, benchName := range benchNames {
 		b, err := benchmarks.ByName(benchName)
 		if err != nil {
 			return nil, err
-		}
-		fig := report.Figure{
-			Title:  fmt.Sprintf("Figure 8: %s execution time by policy", benchName),
-			XLabel: "procs", YLabel: "ms", X: opts.procs(),
 		}
 		for _, p := range policies {
 			cfg := machine.GenericDM().Config
 			cfg.Comm.StartupTime = 100 * vtime.Microsecond
 			cfg.Policy = p.pol
-			points, err := sweep(b.Factory(opts.size(b)), pcxx.ActualSize, cfg, opts.procs())
-			if err != nil {
-				return nil, err
-			}
-			fig.Add(p.name, times(points))
+			jobs = append(jobs, r.job(b, pcxx.ActualSize, cfg, opts.procs()))
+		}
+	}
+	series, err := r.runGrid(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for bi, benchName := range benchNames {
+		fig := report.Figure{
+			Title:  fmt.Sprintf("Figure 8: %s execution time by policy", benchName),
+			XLabel: "procs", YLabel: "ms", X: opts.procs(),
+		}
+		for pi, p := range policies {
+			fig.Add(p.name, times(series[bi*len(policies)+pi]))
 		}
 		fig.Notes = []string{
 			"expect: no-interrupt worst; interrupt best for grid;",

@@ -57,31 +57,52 @@ func runFig9(opts Options) (*Output, error) {
 		Title: "Figure 9 (actual): Matmul on the direct CM-5 model", XLabel: "procs", YLabel: "ms", X: procs,
 	}
 
-	grid := map[string]map[int]fig9Cell{}
-	var names []string
+	dists := matmulDists()
+	names := make([]string, len(dists))
+	for di, d := range dists {
+		names[di] = fmt.Sprintf("(%s,%s)", d[0], d[1])
+	}
 
-	for _, d := range matmulDists() {
-		name := fmt.Sprintf("(%s,%s)", d[0], d[1])
-		names = append(names, name)
+	// Every (distribution, procs) cell is independent: fan them all out,
+	// each running both predictors on the same (cached) measurement.
+	r := newRunner(opts)
+	mopts := core.MeasureOptions{SizeMode: pcxx.ActualSize}
+	cells := make([][]fig9Cell, len(dists))
+	for di := range cells {
+		cells[di] = make([]fig9Cell, len(procs))
+	}
+	err = r.each(len(dists)*len(procs), func(c int) error {
+		di, pi := c/len(procs), c%len(procs)
+		n := procs[pi]
+		factory := benchmarks.MatmulFactory(size, dists[di][0], dists[di][1])
+		tr, err := r.measured("matmul"+names[di], size, n, mopts, factory)
+		if err != nil {
+			return fmt.Errorf("fig9 %s procs=%d: %w", names[di], n, err)
+		}
+		outc, err := core.Extrapolate(tr, env.Config)
+		if err != nil {
+			return err
+		}
+		act, err := direct.Run(tr, direct.CM5())
+		if err != nil {
+			return err
+		}
+		cells[di][pi] = fig9Cell{pred: outc.Result.TotalTime, act: act.TotalTime}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	grid := map[string]map[int]fig9Cell{}
+	for di, name := range names {
 		grid[name] = map[int]fig9Cell{}
-		factory := benchmarks.MatmulFactory(size, d[0], d[1])
-		var predT, actT []float64
-		for _, n := range procs {
-			tr, err := core.Measure(factory(n), core.MeasureOptions{SizeMode: pcxx.ActualSize})
-			if err != nil {
-				return nil, fmt.Errorf("fig9 %s procs=%d: %w", name, n, err)
-			}
-			outc, err := core.Extrapolate(tr, env.Config)
-			if err != nil {
-				return nil, err
-			}
-			act, err := direct.Run(tr, direct.CM5())
-			if err != nil {
-				return nil, err
-			}
-			grid[name][n] = fig9Cell{pred: outc.Result.TotalTime, act: act.TotalTime}
-			predT = append(predT, outc.Result.TotalTime.Millis())
-			actT = append(actT, act.TotalTime.Millis())
+		predT := make([]float64, len(procs))
+		actT := make([]float64, len(procs))
+		for pi, n := range procs {
+			grid[name][n] = cells[di][pi]
+			predT[pi] = cells[di][pi].pred.Millis()
+			actT[pi] = cells[di][pi].act.Millis()
 		}
 		predFig.Add(name, predT)
 		actFig.Add(name, actT)

@@ -40,29 +40,40 @@ func runAblationOverhead(opts Options) (*Output, error) {
 		Columns: []string{"overhead/event", "measured 1-proc time",
 			"inflation", "predicted time", "prediction drift"},
 	}
-	var baseMeasured, basePredicted vtime.Time
-	for _, ovh := range []vtime.Time{0, 1 * vtime.Microsecond, 5 * vtime.Microsecond,
-		25 * vtime.Microsecond, 100 * vtime.Microsecond} {
-		tr, err := core.Measure(g.Factory(size)(threads), core.MeasureOptions{
-			SizeMode:      pcxx.ActualSize,
-			EventOverhead: ovh,
-		})
+	// Each overhead level is an independent measurement (the EventOverhead
+	// is part of the cache key); the zero-overhead row anchors the ratios,
+	// so assembly waits for the full fan-out.
+	overheads := []vtime.Time{0, 1 * vtime.Microsecond, 5 * vtime.Microsecond,
+		25 * vtime.Microsecond, 100 * vtime.Microsecond}
+	type row struct {
+		measured  vtime.Time
+		predicted vtime.Time
+	}
+	rows := make([]row, len(overheads))
+	r := newRunner(opts)
+	err = r.each(len(overheads), func(i int) error {
+		mopts := core.MeasureOptions{SizeMode: pcxx.ActualSize, EventOverhead: overheads[i]}
+		tr, err := r.measured(g.Name(), size, threads, mopts, g.Factory(size))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		o, err := core.Extrapolate(tr, cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if ovh == 0 {
-			baseMeasured = tr.Duration()
-			basePredicted = o.Result.TotalTime
-		}
-		inflation := float64(tr.Duration()) / float64(baseMeasured)
-		drift := float64(o.Result.TotalTime)/float64(basePredicted) - 1
-		tab.AddRow(ovh.String(), tr.Duration().String(),
+		rows[i] = row{measured: tr.Duration(), predicted: o.Result.TotalTime}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	baseMeasured, basePredicted := rows[0].measured, rows[0].predicted
+	for i, ovh := range overheads {
+		inflation := float64(rows[i].measured) / float64(baseMeasured)
+		drift := float64(rows[i].predicted)/float64(basePredicted) - 1
+		tab.AddRow(ovh.String(), rows[i].measured.String(),
 			fmt.Sprintf("%.2f×", inflation),
-			o.Result.TotalTime.String(),
+			rows[i].predicted.String(),
 			fmt.Sprintf("%+.2f%%", drift*100))
 	}
 	tab.Notes = []string{

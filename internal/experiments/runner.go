@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"extrap/internal/benchmarks"
+	"extrap/internal/core"
+	"extrap/internal/metrics"
+	"extrap/internal/pcxx"
+	"extrap/internal/pool"
+	"extrap/internal/sim"
+	"extrap/internal/trace"
+	"extrap/internal/translate"
+)
+
+// runner executes an experiment's measurement/simulation grid across the
+// configured worker pool, memoizing measurement traces so each distinct
+// (benchmark, size, threads, measure options) combination is measured and
+// translated once and then simulated under every configuration. Results
+// are always written to index-addressed slots and assembled sequentially,
+// so the Output is byte-identical at any worker count.
+type runner struct {
+	opts  Options
+	cache *core.TraceCache
+}
+
+func newRunner(opts Options) *runner {
+	return &runner{opts: opts, cache: core.NewTraceCache()}
+}
+
+// each runs fn(i) for i in [0, n) on the experiment's worker pool,
+// returning the lowest-indexed error (the one a sequential loop would
+// report first).
+func (r *runner) each(n int, fn func(i int) error) error {
+	return pool.Run(r.opts.Workers, n, fn)
+}
+
+// key builds the memo-cache key for one measurement.
+func (r *runner) key(bench string, size benchmarks.Size, threads int, mopts core.MeasureOptions) core.CacheKey {
+	return core.CacheKey{
+		Bench:   bench,
+		N:       size.N,
+		Iters:   size.Iters,
+		Verify:  size.Verify,
+		Threads: threads,
+		Opts:    mopts,
+	}
+}
+
+// measured returns the (cached) measurement trace for one benchmark run.
+// The returned trace is shared — callers must treat it as read-only.
+func (r *runner) measured(bench string, size benchmarks.Size, threads int, mopts core.MeasureOptions, f core.ProgramFactory) (*trace.Trace, error) {
+	return r.cache.Measure(r.key(bench, size, threads, mopts), func() (*trace.Trace, error) {
+		return core.Measure(f(threads), mopts)
+	})
+}
+
+// translated returns the (cached) translated trace for one benchmark run,
+// measuring and translating on first use.
+func (r *runner) translated(bench string, size benchmarks.Size, threads int, mopts core.MeasureOptions, f core.ProgramFactory) (*translate.ParallelTrace, error) {
+	return r.cache.Translated(r.key(bench, size, threads, mopts), func() (*trace.Trace, error) {
+		return core.Measure(f(threads), mopts)
+	})
+}
+
+// sweepJob is one curve of a parameter grid: a benchmark swept over the
+// processor ladder under one simulation configuration. Jobs naming the
+// same benchmark/size/mode share measurement traces through the memo
+// cache regardless of how their configs differ.
+type sweepJob struct {
+	// Name identifies the program for the memo cache; include variant
+	// parameters that change program behavior.
+	Name string
+	Size benchmarks.Size
+	// Factory builds the program at a thread count; it must be the same
+	// program whenever (Name, Size) are the same.
+	Factory core.ProgramFactory
+	// Mode is the transfer-size attribution for the measurement.
+	Mode pcxx.SizeMode
+	// Cfg is this curve's simulation configuration.
+	Cfg sim.Config
+	// Procs is the processor ladder for this curve.
+	Procs []int
+}
+
+// job is a convenience constructor for the common benchmark-over-ladder
+// case.
+func (r *runner) job(b benchmarks.Benchmark, mode pcxx.SizeMode, cfg sim.Config, procs []int) sweepJob {
+	return sweepJob{
+		Name:    b.Name(),
+		Size:    r.opts.size(b),
+		Factory: b.Factory(r.opts.size(b)),
+		Mode:    mode,
+		Cfg:     cfg,
+		Procs:   procs,
+	}
+}
+
+// runGrid fans every (job, processor count) cell of the grid across the
+// worker pool and returns one point series per job, in job order. Each
+// cell measures through the memo cache (so cells sharing a measurement
+// wait for one run, then share the trace) and simulates independently.
+func (r *runner) runGrid(jobs []sweepJob) ([][]metrics.Point, error) {
+	// Flatten the grid so the pool load-balances across cells of every
+	// job, not one job at a time.
+	type cell struct{ job, pt int }
+	var cells []cell
+	points := make([][]metrics.Point, len(jobs))
+	for j := range jobs {
+		points[j] = make([]metrics.Point, len(jobs[j].Procs))
+		for i := range jobs[j].Procs {
+			cells = append(cells, cell{j, i})
+		}
+	}
+	err := r.each(len(cells), func(c int) error {
+		job := &jobs[cells[c].job]
+		n := job.Procs[cells[c].pt]
+		mopts := core.MeasureOptions{SizeMode: job.Mode}
+		pt, err := r.translated(job.Name, job.Size, n, mopts, job.Factory)
+		if err != nil {
+			return err
+		}
+		res, err := sim.Simulate(pt, job.Cfg)
+		if err != nil {
+			return err
+		}
+		points[cells[c].job][cells[c].pt] = metrics.Point{Procs: n, Time: res.TotalTime}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
+// simulate runs one simulation of an already-translated trace.
+func simulate(pt *translate.ParallelTrace, cfg sim.Config) (*sim.Result, error) {
+	return sim.Simulate(pt, cfg)
+}

@@ -47,11 +47,14 @@ func runTable1(opts Options) (*Output, error) {
 	size := benchmarks.Size{N: 128, Iters: 2}
 	n := opts.procs()[len(opts.procs())-1]
 	baseCfg := machine.GenericDM().Config
-	baseTr, err := core.Measure(cy.Factory(size)(n), core.MeasureOptions{SizeMode: pcxx.ActualSize})
+	// One measurement and translation back every variant simulation.
+	r := newRunner(opts)
+	basePt, err := r.translated(cy.Name(), size, n,
+		core.MeasureOptions{SizeMode: pcxx.ActualSize}, cy.Factory(size))
 	if err != nil {
 		return nil, err
 	}
-	baseOut, err := core.Extrapolate(baseTr, baseCfg)
+	baseRes, err := simulate(basePt, baseCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -72,15 +75,23 @@ func runTable1(opts Options) (*Output, error) {
 		{"BarrierMsgSize", func(b *sim.BarrierConfig) { b.MsgSize *= 16 }},
 		{"BarrierByMsgs→0", func(b *sim.BarrierConfig) { b.ByMsgs = false }},
 	}
-	for _, v := range variants {
+	results := make([]*sim.Result, len(variants))
+	err = r.each(len(variants), func(i int) error {
 		cfg := baseCfg
-		v.mutate(&cfg.Barrier)
-		o, err := core.Extrapolate(baseTr, cfg)
+		variants[i].mutate(&cfg.Barrier)
+		res, err := simulate(basePt, cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		delta := o.Result.TotalTime - baseOut.Result.TotalTime
-		sens.AddRow(v.name, baseOut.Result.TotalTime.String(), o.Result.TotalTime.String(), delta.String())
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range variants {
+		delta := results[i].TotalTime - baseRes.TotalTime
+		sens.AddRow(v.name, baseRes.TotalTime.String(), results[i].TotalTime.String(), delta.String())
 	}
 	out.Tables = append(out.Tables, sens)
 	return out, nil
@@ -99,19 +110,30 @@ func runTable2(opts Options) (*Output, error) {
 	if opts.Quick {
 		n = 4
 	}
-	for _, b := range benchmarks.Suite() {
-		size := opts.size(b)
+	// Every benchmark measures independently; verification failures are
+	// rows, not errors, so the fan-out collects per-benchmark outcomes.
+	suite := benchmarks.Suite()
+	r := newRunner(opts)
+	type row struct {
+		tr  *trace.Trace
+		err error
+	}
+	rows := make([]row, len(suite))
+	_ = r.each(len(suite), func(i int) error {
+		size := opts.size(suite[i])
 		size.Verify = true
-		tr, err := core.Measure(b.Factory(size)(n), core.MeasureOptions{SizeMode: pcxx.ActualSize})
-		verified := "yes"
-		if err != nil {
-			verified = "FAILED: " + err.Error()
-			tab.AddRow(b.Name(), b.Description(), "-", "-", "-", "-", "-", verified)
+		rows[i].tr, rows[i].err = r.measured(suite[i].Name(), size, n,
+			core.MeasureOptions{SizeMode: pcxx.ActualSize}, suite[i].Factory(size))
+		return nil
+	})
+	for i, b := range suite {
+		if rows[i].err != nil {
+			tab.AddRow(b.Name(), b.Description(), "-", "-", "-", "-", "-", "FAILED: "+rows[i].err.Error())
 			continue
 		}
-		s := trace.ComputeStats(tr)
+		s := trace.ComputeStats(rows[i].tr)
 		tab.AddRow(b.Name(), b.Description(), s.Events, s.Barriers,
-			s.RemoteReads, s.RemoteBytes/1024, s.Duration.String(), verified)
+			s.RemoteReads, s.RemoteBytes/1024, s.Duration.String(), "yes")
 	}
 	out.Tables = append(out.Tables, tab)
 	return out, nil

@@ -1,0 +1,90 @@
+// Package pool is the bounded worker-pool primitive behind the
+// concurrent experiment engine: it fans an indexed job set out across a
+// fixed number of goroutines while keeping every observable outcome
+// deterministic. Callers write results into slots indexed by job number,
+// so result ordering never depends on goroutine interleaving, and on
+// failure Run reports the error of the lowest-indexed failing job — the
+// same error a sequential loop would have returned first.
+package pool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Clamp normalizes a requested worker count: values ≤ 0 select
+// GOMAXPROCS (the most parallelism the runtime will schedule), and the
+// count is capped at n jobs since extra workers would idle.
+func Clamp(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// Run executes fn(i) for every i in [0, n) on at most workers
+// goroutines. workers ≤ 0 selects GOMAXPROCS. With workers == 1 the jobs
+// run strictly in index order on the calling goroutine, reproducing a
+// plain sequential loop (including its early stop at the first error).
+//
+// With more workers, jobs are handed out in index order; if any fail,
+// the error of the lowest-indexed failing job is returned and jobs with
+// higher indexes may be skipped. fn must write its result into a
+// caller-provided slot for index i rather than shared state, unless it
+// synchronizes access itself.
+func Run(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Clamp(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		mu       sync.Mutex
+		next     int
+		firstErr error
+		errIdx   = n
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				// Jobs past the lowest failing index cannot change the
+				// outcome; stop handing them out.
+				if next >= n || next > errIdx {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if i < errIdx {
+						errIdx, firstErr = i, err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,83 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunAllIndexesOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 100
+			counts := make([]int32, n)
+			err := Run(workers, n, func(i int) error {
+				atomic.AddInt32(&counts[i], 1)
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("index %d ran %d times", i, c)
+				}
+			}
+		})
+	}
+}
+
+// TestRunLowestError: whatever the worker count, the reported error is the
+// one a sequential loop would hit first.
+func TestRunLowestError(t *testing.T) {
+	want := errors.New("boom-17")
+	for _, workers := range []int{1, 2, 8} {
+		err := Run(workers, 50, func(i int) error {
+			switch i {
+			case 17:
+				return want
+			case 23, 41:
+				return errors.New("later failure")
+			}
+			return nil
+		})
+		if err != want {
+			t.Errorf("workers=%d: got %v, want %v", workers, err, want)
+		}
+	}
+}
+
+// TestRunSequentialEarlyStop: one worker reproduces a plain loop, stopping
+// at the first error.
+func TestRunSequentialEarlyStop(t *testing.T) {
+	ran := 0
+	err := Run(1, 10, func(i int) error {
+		ran++
+		if i == 3 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil || ran != 4 {
+		t.Fatalf("ran %d jobs (err %v), want exactly 4", ran, err)
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	if err := Run(4, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 3); got != 3 {
+		t.Errorf("Clamp(5,3) = %d, want 3", got)
+	}
+	if got := Clamp(2, 100); got != 2 {
+		t.Errorf("Clamp(2,100) = %d, want 2", got)
+	}
+	if got := Clamp(0, 100); got < 1 {
+		t.Errorf("Clamp(0,100) = %d, want ≥ 1", got)
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 // barSt tracks one global barrier through the simulation.
 type barSt struct {
+	used    bool // barrier id encountered (dense-slice occupancy marker)
 	id      int64
 	entries int
 	// maxArrive is the latest entry-completion time (analytic variants
@@ -27,17 +28,27 @@ type barSt struct {
 	releaseSent []bool
 }
 
+// bar returns the state record for barrier id from the dense slice,
+// initializing it on first touch. Barrier ids are dense and increasing
+// (trace validation enforces this), so the slice is normally sized once
+// from ParallelTrace.Barriers; growth only happens for hand-built traces.
+// Callers never hold a *barSt across another bar call (nested calls reach
+// only already-created ids), so append-driven reallocation is safe.
 func (e *engine) bar(id int64) *barSt {
-	b := e.bars[id]
-	if b == nil {
-		b = &barSt{id: id}
+	for int64(len(e.bars)) <= id {
+		e.bars = append(e.bars, barSt{})
+	}
+	b := &e.bars[id]
+	if !b.used {
+		b.used = true
+		b.id = id
+		e.nbars++
 		if e.cfg.Barrier.Algorithm == TreeBarrier {
 			b.childGot = make([]int, e.n)
 			b.nodeEntered = make([]bool, e.n)
 			b.nodeFreeAt = make([]vtime.Time, e.n)
 			b.releaseSent = make([]bool, e.n)
 		}
-		e.bars[id] = b
 	}
 	return b
 }
@@ -71,7 +82,8 @@ func (e *engine) barrierEnter(t *thr, id int64) {
 		}
 		if b.entries == e.n {
 			release := b.maxArrive + bc.HardwareTime
-			for _, th := range e.threads {
+			for i := range e.threads {
+				th := &e.threads[i]
 				e.fel.schedule(release+bc.ExitTime, evResume, th.id, th.gen, nil)
 			}
 		}
@@ -88,7 +100,8 @@ func (e *engine) barrierEnter(t *thr, id int64) {
 			}
 			if b.entries == e.n {
 				release := vtime.Max(b.maxArrive, b.masterFreeAt) + bc.CheckTime + bc.ModelTime
-				for _, th := range e.threads {
+				for i := range e.threads {
+					th := &e.threads[i]
 					exit := release + bc.ExitTime
 					if th.id != 0 {
 						exit += bc.ExitCheckTime
@@ -107,7 +120,7 @@ func (e *engine) barrierEnter(t *thr, id int64) {
 			net := e.netFor(t.proc, e.threads[0].proc)
 			sendOv := net.SendOverhead(bc.MsgSize)
 			injectAt := entryDone + sendOv
-			m := &message{kind: mBarArrive, src: t.id, dst: 0, bytes: bc.MsgSize, barrier: id}
+			m := e.msgs.new(mBarArrive, t.id, 0, bc.MsgSize, id)
 			raw := net.Inject(injectAt, t.proc, e.threads[0].proc, bc.MsgSize)
 			e.fel.schedule(raw, evMsgArrive, 0, 0, m)
 			e.emit(injectAt, trace.KindMsgSend, t.id, 0, bc.MsgSize, int64(mBarArrive))
@@ -123,7 +136,8 @@ func (e *engine) barrierEnter(t *thr, id int64) {
 			if b.entries == e.n {
 				depth := vtime.Time(log2ceil(e.n))
 				release := b.maxArrive + depth*bc.CheckTime + bc.ModelTime
-				for _, th := range e.threads {
+				for i := range e.threads {
+					th := &e.threads[i]
 					exit := release + depth*bc.ExitCheckTime + bc.ExitTime
 					e.fel.schedule(exit, evResume, th.id, th.gen, nil)
 				}
@@ -158,12 +172,12 @@ func (e *engine) checkLinearComplete(b *barSt) {
 	for s := 1; s < e.n; s++ {
 		net := e.netFor(masterProc, e.threads[s].proc)
 		at += net.SendOverhead(bc.MsgSize)
-		m := &message{kind: mBarRelease, src: 0, dst: s, bytes: bc.MsgSize, barrier: b.id}
+		m := e.msgs.new(mBarRelease, 0, s, bc.MsgSize, b.id)
 		raw := net.Inject(at, masterProc, e.threads[s].proc, bc.MsgSize)
 		e.fel.schedule(raw, evMsgArrive, 0, 0, m)
 		e.emit(at, trace.KindMsgSend, 0, int64(s), bc.MsgSize, int64(mBarRelease))
 	}
-	master := e.threads[0]
+	master := &e.threads[0]
 	e.fel.schedule(at+bc.ExitTime, evResume, 0, master.gen, nil)
 }
 
@@ -211,7 +225,7 @@ func (e *engine) checkTreeNode(b *barSt, node int) {
 	parentProc := e.threads[parent].proc
 	net := e.netFor(nodeProc, parentProc)
 	injectAt := b.nodeFreeAt[node] + net.SendOverhead(bc.MsgSize)
-	m := &message{kind: mBarArrive, src: node, dst: parent, bytes: bc.MsgSize, barrier: b.id}
+	m := e.msgs.new(mBarArrive, node, parent, bc.MsgSize, b.id)
 	raw := net.Inject(injectAt, nodeProc, parentProc, bc.MsgSize)
 	e.fel.schedule(raw, evMsgArrive, 0, 0, m)
 	e.emit(injectAt, trace.KindMsgSend, node, int64(parent), bc.MsgSize, int64(mBarArrive))
@@ -232,12 +246,12 @@ func (e *engine) treeRelease(b *barSt, node int, at vtime.Time) {
 		}
 		net := e.netFor(nodeProc, e.threads[c].proc)
 		at += net.SendOverhead(bc.MsgSize)
-		m := &message{kind: mBarRelease, src: node, dst: c, bytes: bc.MsgSize, barrier: b.id}
+		m := e.msgs.new(mBarRelease, node, c, bc.MsgSize, b.id)
 		raw := net.Inject(at, nodeProc, e.threads[c].proc, bc.MsgSize)
 		e.fel.schedule(raw, evMsgArrive, 0, 0, m)
 		e.emit(at, trace.KindMsgSend, node, int64(c), bc.MsgSize, int64(mBarRelease))
 	}
-	t := e.threads[node]
+	t := &e.threads[node]
 	e.fel.schedule(at+bc.ExitTime, evResume, node, t.gen, nil)
 }
 
@@ -245,12 +259,12 @@ func (e *engine) treeRelease(b *barSt, node int, at vtime.Time) {
 // thread: it notices the release, (tree) forwards it to its children, and
 // exits.
 func (e *engine) barrierReleaseArrive(m *message) {
-	t := e.threads[m.dst]
+	t := &e.threads[m.dst]
 	if t.state != tsWaitBarrier {
 		panic(fmt.Sprintf("sim: release for thread %d in state %d", t.id, t.state))
 	}
 	bc := &e.cfg.Barrier
-	p := e.procs[t.proc]
+	p := &e.procs[t.proc]
 	noticed := vtime.Max(e.now+bc.ExitCheckTime, p.svcBusyUntil)
 	if e.cfg.Barrier.Algorithm == TreeBarrier {
 		b := e.bar(m.barrier)

@@ -1,8 +1,6 @@
 package sim
 
 import (
-	"container/heap"
-
 	"extrap/internal/vtime"
 )
 
@@ -34,48 +32,71 @@ type event struct {
 	msg    *message
 }
 
-// eventQueue is a deterministic min-heap ordered by (time, seq).
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-
-// Push appends an event (heap.Interface).
-func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
-
-// Pop removes the last element (heap.Interface).
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
-}
-
-// fel is the future event list.
+// fel is the future event list: a deterministic min-heap of events by
+// value, ordered by (time, seq). Storing events inline rather than behind
+// pointers keeps the simulation hot loop free of per-event heap
+// allocations — the backing array is reused as events come and go.
 type fel struct {
-	q      eventQueue
+	q      []event
 	nextSq uint64
 }
 
-func (f *fel) schedule(at vtime.Time, kind evKind, thread int, gen uint64, msg *message) {
-	e := &event{at: at, seq: f.nextSq, kind: kind, thread: thread, gen: gen, msg: msg}
-	f.nextSq++
-	heap.Push(&f.q, e)
+// less orders the heap by (time, schedule sequence).
+func (f *fel) less(i, j int) bool {
+	if f.q[i].at != f.q[j].at {
+		return f.q[i].at < f.q[j].at
+	}
+	return f.q[i].seq < f.q[j].seq
 }
 
-func (f *fel) pop() *event {
-	if len(f.q) == 0 {
-		return nil
+// up restores the heap invariant after appending at index i.
+func (f *fel) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !f.less(i, parent) {
+			break
+		}
+		f.q[i], f.q[parent] = f.q[parent], f.q[i]
+		i = parent
 	}
-	return heap.Pop(&f.q).(*event)
+}
+
+// down restores the heap invariant after replacing the root.
+func (f *fel) down(i int) {
+	n := len(f.q)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		least := l
+		if r := l + 1; r < n && f.less(r, l) {
+			least = r
+		}
+		if !f.less(least, i) {
+			return
+		}
+		f.q[i], f.q[least] = f.q[least], f.q[i]
+		i = least
+	}
+}
+
+func (f *fel) schedule(at vtime.Time, kind evKind, thread int, gen uint64, msg *message) {
+	f.q = append(f.q, event{at: at, seq: f.nextSq, kind: kind, thread: thread, gen: gen, msg: msg})
+	f.nextSq++
+	f.up(len(f.q) - 1)
+}
+
+func (f *fel) pop() event {
+	root := f.q[0]
+	n := len(f.q) - 1
+	f.q[0] = f.q[n]
+	f.q[n] = event{} // clear the vacated slot's msg pointer for the GC
+	f.q = f.q[:n]
+	if n > 0 {
+		f.down(0)
+	}
+	return root
 }
 
 func (f *fel) empty() bool { return len(f.q) == 0 }

@@ -29,6 +29,25 @@ type message struct {
 	delivered bool // NI queueing applied
 }
 
+// msgSlab hands out message structs carved from block allocations,
+// replacing one heap allocation per simulated message with one per
+// msgSlabSize messages. Messages are never recycled — they stay alive
+// until the engine is discarded — so a handed-out pointer is always safe
+// to hold.
+const msgSlabSize = 256
+
+type msgSlab struct{ block []message }
+
+func (s *msgSlab) new(kind msgKind, src, dst int, bytes, barrier int64) *message {
+	if len(s.block) == 0 {
+		s.block = make([]message, msgSlabSize)
+	}
+	m := &s.block[0]
+	s.block = s.block[1:]
+	m.kind, m.src, m.dst, m.bytes, m.barrier = kind, src, dst, bytes, barrier
+	return m
+}
+
 // tstate is a simulated thread's execution state.
 type tstate uint8
 
@@ -69,17 +88,21 @@ type prc struct {
 	svcBusyUntil vtime.Time
 }
 
-// engine drives one trace-driven simulation.
+// engine drives one trace-driven simulation. Threads, processors, and
+// barrier states live in dense slices (not maps or per-item heap
+// allocations) so the event loop touches contiguous memory.
 type engine struct {
 	cfg     Config
 	n       int
 	nprocs  int
-	threads []*thr
-	procs   []*prc
+	threads []thr
+	procs   []prc
 	inter   *network.Network
 	intra   *network.Network // non-nil when clustering is enabled
 	fel     fel
-	bars    map[int64]*barSt
+	bars    []barSt // dense by barrier id
+	nbars   int     // barriers actually encountered
+	msgs    msgSlab
 	out     *trace.Trace
 	now     vtime.Time
 	done    int
@@ -87,7 +110,10 @@ type engine struct {
 
 // Simulate replays the translated parallel trace against the target
 // environment described by cfg and returns the predicted performance
-// information and metrics.
+// information and metrics. The input trace is read-only: neither the
+// event slices nor the ParallelTrace header are modified, so one
+// translation may be simulated under many configurations (and from many
+// goroutines) concurrently.
 func Simulate(pt *translate.ParallelTrace, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -111,8 +137,9 @@ func Simulate(pt *translate.ParallelTrace, cfg Config) (*Result, error) {
 		cfg:    cfg,
 		n:      n,
 		nprocs: nprocs,
-		bars:   make(map[int64]*barSt),
+		bars:   make([]barSt, 0, pt.Barriers),
 	}
+	e.fel.q = make([]event, 0, 4*n)
 	var err error
 	if e.inter, err = network.New(cfg.Comm, nprocs); err != nil {
 		return nil, err
@@ -125,27 +152,36 @@ func Simulate(pt *translate.ParallelTrace, cfg Config) (*Result, error) {
 	if cfg.EmitTrace {
 		e.out = trace.New(n)
 		e.out.Phases = append([]string(nil), pt.Phases...)
+		// Emitted events ≈ input events plus a send and a receive per
+		// message; 2× avoids most regrowth without overcommitting.
+		e.out.Events = make([]trace.Event, 0, 2*pt.Events())
 	}
 
 	perProc := n / nprocs
-	e.procs = make([]*prc, nprocs)
+	e.procs = make([]prc, nprocs)
 	for p := range e.procs {
-		e.procs[p] = &prc{id: p, current: -1, last: -1}
+		e.procs[p].id = p
+		e.procs[p].current = -1
+		e.procs[p].last = -1
 	}
-	e.threads = make([]*thr, n)
+	e.threads = make([]thr, n)
 	for i := 0; i < n; i++ {
 		p := placeThread(cfg.Placement, i, n, nprocs, perProc)
-		t := &thr{id: i, proc: p, evs: pt.Threads[i], state: tsWaitCPU}
+		t := &e.threads[i]
+		t.id, t.proc, t.evs, t.state = i, p, pt.Threads[i], tsWaitCPU
 		if len(t.evs) > 0 {
 			t.prevT = t.evs[0].Time
 		}
-		e.threads[i] = t
 		e.procs[p].threads = append(e.procs[p].threads, i)
+	}
+	for p := range e.procs {
+		e.procs[p].runq = make([]int, 0, len(e.procs[p].threads))
 	}
 
 	// Launch: every thread wants the CPU at time 0 for its first (empty)
 	// segment leading to its first event.
-	for _, t := range e.threads {
+	for i := range e.threads {
+		t := &e.threads[i]
 		if len(t.evs) == 0 {
 			t.state = tsDone
 			e.done++
@@ -164,13 +200,13 @@ func Simulate(pt *translate.ParallelTrace, cfg Config) (*Result, error) {
 		e.now = ev.at
 		switch ev.kind {
 		case evComputeDone:
-			t := e.threads[ev.thread]
+			t := &e.threads[ev.thread]
 			if ev.gen != t.gen || t.state != tsComputing {
 				continue // superseded
 			}
 			e.handleEvent(t)
 		case evPollTick:
-			t := e.threads[ev.thread]
+			t := &e.threads[ev.thread]
 			if ev.gen != t.gen || t.state != tsComputing {
 				continue
 			}
@@ -178,7 +214,7 @@ func Simulate(pt *translate.ParallelTrace, cfg Config) (*Result, error) {
 		case evMsgArrive:
 			e.msgArrive(ev.msg)
 		case evResume:
-			t := e.threads[ev.thread]
+			t := &e.threads[ev.thread]
 			if ev.gen != t.gen {
 				continue
 			}
@@ -194,10 +230,11 @@ func Simulate(pt *translate.ParallelTrace, cfg Config) (*Result, error) {
 
 	res := &Result{
 		Threads:  make([]ThreadStats, n),
-		Barriers: len(e.bars),
+		Barriers: e.nbars,
 		Procs:    nprocs,
 	}
-	for i, t := range e.threads {
+	for i := range e.threads {
+		t := &e.threads[i]
 		res.Threads[i] = t.stats
 		if t.stats.Finish > res.TotalTime {
 			res.TotalTime = t.stats.Finish
@@ -265,7 +302,7 @@ func (e *engine) emit(t vtime.Time, kind trace.Kind, thread int, a0, a1, a2 int6
 // requestCPU makes thread t runnable at time at; it starts computing its
 // next segment when its processor grants the CPU.
 func (e *engine) requestCPU(t *thr, at vtime.Time) {
-	p := e.procs[t.proc]
+	p := &e.procs[t.proc]
 	t.state = tsWaitCPU
 	t.readyAt = at
 	if p.current == -1 {
@@ -298,7 +335,7 @@ func (e *engine) grantCPU(p *prc, t *thr, at vtime.Time) {
 func (e *engine) releaseCPU(p *prc, at vtime.Time) {
 	p.current = -1
 	if len(p.runq) > 0 {
-		next := e.threads[p.runq[0]]
+		next := &e.threads[p.runq[0]]
 		p.runq = p.runq[1:]
 		e.grantCPU(p, next, at)
 	}
@@ -324,7 +361,7 @@ func (e *engine) runSegment(t *thr, at vtime.Time) {
 // pollTick fires at a poll boundary: pay the poll overhead, service the
 // queued requests, then continue the segment.
 func (e *engine) pollTick(t *thr) {
-	p := e.procs[t.proc]
+	p := &e.procs[t.proc]
 	cost := e.cfg.Policy.PollOverhead
 	t.stats.Service += cost
 	resume := e.now + cost
@@ -368,7 +405,7 @@ func (e *engine) handleEvent(t *thr) {
 		t.stats.Finish = e.now
 		e.done++
 		e.emit(e.now, trace.KindThreadEnd, t.id, 0, 0, 0)
-		p := e.procs[t.proc]
+		p := &e.procs[t.proc]
 		// Requests queued while this thread computed (NoInterrupt/Poll)
 		// must still be serviced, or their requesters would hang.
 		e.drainQueue(p, e.now)
@@ -412,14 +449,14 @@ func (e *engine) continueThread(t *thr, at vtime.Time) {
 		t.state = tsDone
 		t.stats.Finish = at
 		e.done++
-		p := e.procs[t.proc]
+		p := &e.procs[t.proc]
 		e.drainQueue(p, at)
 		if p.current == t.id {
 			e.releaseCPU(p, at)
 		}
 		return
 	}
-	p := e.procs[t.proc]
+	p := &e.procs[t.proc]
 	if p.current == t.id {
 		// Still on CPU: run the next segment directly.
 		pure := e.scale(t.evs[t.pos].Time - t.prevT)
@@ -437,7 +474,7 @@ func (e *engine) continueThread(t *thr, at vtime.Time) {
 func (e *engine) block(t *thr, state tstate, cpuFreeAt vtime.Time) {
 	t.state = state
 	t.blockAt = e.now
-	p := e.procs[t.proc]
+	p := &e.procs[t.proc]
 	e.drainQueue(p, cpuFreeAt)
 	e.releaseCPU(p, cpuFreeAt)
 }
@@ -463,7 +500,7 @@ func (e *engine) remoteRead(t *thr, ev trace.Event) {
 	net := e.netFor(t.proc, ownerProc)
 	sendOv := net.SendOverhead(net.Config().RequestBytes)
 	injectAt := e.now + sendOv
-	m := &message{kind: mReqRead, src: t.id, dst: owner, bytes: ev.Arg1}
+	m := e.msgs.new(mReqRead, t.id, owner, ev.Arg1, 0)
 	raw := net.Inject(injectAt, t.proc, ownerProc, net.Config().RequestBytes)
 	e.fel.schedule(raw, evMsgArrive, 0, 0, m)
 	e.emit(injectAt, trace.KindMsgSend, t.id, int64(owner), net.Config().RequestBytes, int64(mReqRead))
@@ -488,7 +525,7 @@ func (e *engine) remoteWrite(t *thr, ev trace.Event) {
 	net := e.netFor(t.proc, ownerProc)
 	sendOv := net.SendOverhead(ev.Arg1)
 	injectAt := e.now + sendOv
-	m := &message{kind: mReqWrite, src: t.id, dst: owner, bytes: ev.Arg1}
+	m := e.msgs.new(mReqWrite, t.id, owner, ev.Arg1, 0)
 	raw := net.Inject(injectAt, t.proc, ownerProc, ev.Arg1)
 	e.fel.schedule(raw, evMsgArrive, 0, 0, m)
 	e.emit(injectAt, trace.KindMsgSend, t.id, int64(owner), ev.Arg1, int64(mReqWrite))
@@ -529,7 +566,7 @@ func (e *engine) msgArrive(m *message) {
 // requestArrive routes a CPU-handled message through the service policy of
 // the destination processor.
 func (e *engine) requestArrive(m *message) {
-	p := e.procs[e.threads[m.dst].proc]
+	p := &e.procs[e.threads[m.dst].proc]
 	cur := p.current
 	if cur == -1 || e.threads[cur].state != tsComputing {
 		// Processor idle or its thread blocked: service immediately,
@@ -538,7 +575,7 @@ func (e *engine) requestArrive(m *message) {
 		e.serviceMessage(p, m, at)
 		return
 	}
-	t := e.threads[cur]
+	t := &e.threads[cur]
 	switch e.cfg.Policy.Kind {
 	case Interrupt:
 		start := vtime.Max(e.now, p.svcBusyUntil)
@@ -587,14 +624,13 @@ func (e *engine) serviceMessage(p *prc, m *message, at vtime.Time) {
 // the read reply, applying the write, or advancing the barrier protocol.
 // Service time is attributed to the destination thread.
 func (e *engine) dispatchService(p *prc, m *message, at vtime.Time) {
-	owner := e.threads[m.dst]
-	owner.stats.Service += e.serviceCost(p, m)
+	e.threads[m.dst].stats.Service += e.serviceCost(p, m)
 	switch m.kind {
 	case mReqRead:
 		reqProc := e.threads[m.src].proc
 		net := e.netFor(p.id, reqProc)
 		injectAt := at + e.cfg.Policy.ServiceTime + net.SendOverhead(m.bytes)
-		reply := &message{kind: mReply, src: m.dst, dst: m.src, bytes: m.bytes}
+		reply := e.msgs.new(mReply, m.dst, m.src, m.bytes, 0)
 		raw := net.Inject(injectAt, p.id, reqProc, m.bytes)
 		e.fel.schedule(raw, evMsgArrive, 0, 0, reply)
 		e.emit(injectAt, trace.KindMsgSend, m.dst, int64(m.src), m.bytes, int64(mReply))
@@ -608,11 +644,11 @@ func (e *engine) dispatchService(p *prc, m *message, at vtime.Time) {
 // replyArrive completes a remote read: the requester consumes the reply
 // and resumes computing.
 func (e *engine) replyArrive(m *message) {
-	t := e.threads[m.dst]
+	t := &e.threads[m.dst]
 	if t.state != tsWaitReply {
 		panic(fmt.Sprintf("sim: reply for thread %d in state %d", t.id, t.state))
 	}
-	p := e.procs[t.proc]
+	p := &e.procs[t.proc]
 	net := e.netFor(e.threads[m.src].proc, t.proc)
 	resume := e.now + net.Config().RecvOverhead
 	// If the blocked thread's processor is mid-service, the thread

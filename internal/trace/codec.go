@@ -29,6 +29,37 @@ import (
 
 var binaryMagic = [5]byte{'X', 'T', 'R', 'P', '1'}
 
+// eventRecSize is the wire size of one event record.
+const eventRecSize = 37
+
+// codecChunk is how many event records are staged in one buffer between
+// Write/ReadFull calls; batching keeps the per-event cost to pure
+// encoding and lets escape analysis keep the scratch buffer off the heap
+// allocation fast path (one buffer per call, not one per event).
+const codecChunk = 512
+
+// putEvent encodes e into b, which must have room for eventRecSize bytes.
+func putEvent(b []byte, e *Event) {
+	binary.LittleEndian.PutUint64(b[0:8], uint64(e.Time))
+	b[8] = byte(e.Kind)
+	binary.LittleEndian.PutUint32(b[9:13], uint32(e.Thread))
+	binary.LittleEndian.PutUint64(b[13:21], uint64(e.Arg0))
+	binary.LittleEndian.PutUint64(b[21:29], uint64(e.Arg1))
+	binary.LittleEndian.PutUint64(b[29:37], uint64(e.Arg2))
+}
+
+// getEvent decodes one event record from b.
+func getEvent(b []byte) Event {
+	return Event{
+		Time:   intToTime(binary.LittleEndian.Uint64(b[0:8])),
+		Kind:   Kind(b[8]),
+		Thread: int32(binary.LittleEndian.Uint32(b[9:13])),
+		Arg0:   int64(binary.LittleEndian.Uint64(b[13:21])),
+		Arg1:   int64(binary.LittleEndian.Uint64(b[21:29])),
+		Arg2:   int64(binary.LittleEndian.Uint64(b[29:37])),
+	}
+}
+
 // errors returned by the codecs.
 var (
 	ErrBadMagic = errors.New("trace: bad magic (not an XTRP1 trace)")
@@ -63,15 +94,18 @@ func WriteBinary(w io.Writer, t *Trace) error {
 	if _, err := bw.Write(scratch[:8]); err != nil {
 		return err
 	}
-	for _, e := range t.Events {
-		var rec [37]byte
-		binary.LittleEndian.PutUint64(rec[0:8], uint64(e.Time))
-		rec[8] = byte(e.Kind)
-		binary.LittleEndian.PutUint32(rec[9:13], uint32(e.Thread))
-		binary.LittleEndian.PutUint64(rec[13:21], uint64(e.Arg0))
-		binary.LittleEndian.PutUint64(rec[21:29], uint64(e.Arg1))
-		binary.LittleEndian.PutUint64(rec[29:37], uint64(e.Arg2))
-		if _, err := bw.Write(rec[:]); err != nil {
+	buf := make([]byte, codecChunk*eventRecSize)
+	for start := 0; start < len(t.Events); start += codecChunk {
+		end := start + codecChunk
+		if end > len(t.Events) {
+			end = len(t.Events)
+		}
+		n := 0
+		for i := start; i < end; i++ {
+			putEvent(buf[n:n+eventRecSize], &t.Events[i])
+			n += eventRecSize
+		}
+		if _, err := bw.Write(buf[:n]); err != nil {
 			return err
 		}
 	}
@@ -119,24 +153,31 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 	if n > 1<<32 {
 		return nil, fmt.Errorf("trace: implausible event count %d", n)
 	}
-	t.Events = make([]Event, 0, n)
-	for i := uint64(0); i < n; i++ {
-		var rec [37]byte
-		if _, err := io.ReadFull(br, rec[:]); err != nil {
+	// Preallocate from the header count (bounded, so a corrupt header
+	// cannot force a huge allocation before any record is read).
+	prealloc := n
+	if prealloc > 1<<22 {
+		prealloc = 1 << 22
+	}
+	t.Events = make([]Event, 0, prealloc)
+	buf := make([]byte, codecChunk*eventRecSize)
+	for read := uint64(0); read < n; {
+		batch := n - read
+		if batch > codecChunk {
+			batch = codecChunk
+		}
+		chunk := buf[:batch*eventRecSize]
+		if _, err := io.ReadFull(br, chunk); err != nil {
 			return nil, err
 		}
-		e := Event{
-			Time:   intToTime(binary.LittleEndian.Uint64(rec[0:8])),
-			Kind:   Kind(rec[8]),
-			Thread: int32(binary.LittleEndian.Uint32(rec[9:13])),
-			Arg0:   int64(binary.LittleEndian.Uint64(rec[13:21])),
-			Arg1:   int64(binary.LittleEndian.Uint64(rec[21:29])),
-			Arg2:   int64(binary.LittleEndian.Uint64(rec[29:37])),
+		for i := uint64(0); i < batch; i++ {
+			e := getEvent(chunk[i*eventRecSize:])
+			if !e.Kind.Valid() {
+				return nil, fmt.Errorf("trace: event %d has invalid kind %d", read+i, byte(e.Kind))
+			}
+			t.Events = append(t.Events, e)
 		}
-		if !e.Kind.Valid() {
-			return nil, fmt.Errorf("trace: event %d has invalid kind %d", i, rec[8])
-		}
-		t.Events = append(t.Events, e)
+		read += batch
 	}
 	return t, nil
 }

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Run the hot-path benchmarks and emit one JSON object per benchmark on
+# stdout (a JSON array). BENCH_PATTERN / BENCHTIME override the set and
+# the per-benchmark budget.
+set -e
+
+PATTERN="${BENCH_PATTERN:-BenchmarkSimulation\$|BenchmarkFullPipeline\$|BenchmarkTraceCodec|BenchmarkFig7MgridStartup\$}"
+TIME="${BENCHTIME:-1s}"
+
+go test -run '^$' -bench "$PATTERN" -benchtime "$TIME" -benchmem . |
+awk '
+  # Columns vary (MB/s and custom metrics appear between ns/op and
+  # B/op), so locate each value by the unit that follows it.
+  /^Benchmark/ {
+    ns = b = a = "null"
+    for (i = 3; i <= NF; i++) {
+      if ($i == "ns/op") ns = $(i-1)
+      if ($i == "B/op") b = $(i-1)
+      if ($i == "allocs/op") a = $(i-1)
+    }
+    printf "%s  {\"name\":\"%s\",\"iters\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", sep, $1, $2, ns, b, a
+    sep = ",\n"
+  }
+  BEGIN { print "[" }
+  END   { print "\n]" }
+'
