@@ -1,6 +1,7 @@
 GO ?= go
+BENCH_TOLERANCE ?= 0.25
 
-.PHONY: all build test race vet bench
+.PHONY: all build test race vet lint check bench bench-baseline bench-gate
 
 all: vet build test
 
@@ -16,8 +17,34 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Snapshot the hot-path benchmarks into BENCH_baseline.json. Compare a
-# working tree against the committed snapshot by re-running and diffing.
+# gofmt has no "check" mode, so fail on any file it would rewrite.
+# staticcheck is optional locally; CI installs it.
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
+check: lint build race
+
+# Print the hot-path benchmark snapshot without touching the committed
+# baseline. Use bench-baseline to (deliberately) re-snapshot it.
 bench:
+	./scripts/bench.sh
+
+bench-baseline:
 	./scripts/bench.sh > BENCH_baseline.json
 	@cat BENCH_baseline.json
+
+# Re-run the benchmarks and gate the result against the committed
+# baseline: ns/op may drift ±$(BENCH_TOLERANCE), allocs/op may not grow.
+bench-gate:
+	@tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
+	./scripts/bench.sh > "$$tmp"; \
+	$(GO) run ./scripts/benchgate -baseline BENCH_baseline.json -current "$$tmp" -tolerance $(BENCH_TOLERANCE)

@@ -82,6 +82,8 @@ func dispatch(cmd string, args []string, out io.Writer) error {
 		return cmdCalibrate(out)
 	case "experiment":
 		return cmdExperiment(args, out)
+	case "serve":
+		return cmdServe(args, out)
 	case "-h", "--help", "help":
 		usage()
 		return nil
@@ -105,6 +107,7 @@ commands:
   calibrate   measure this machine's flop rate; derive MipsRatio vs the models
   experiment  regenerate a paper table/figure (fig4..fig9, table1..table3,
               ablation-*, or "all")
+  serve       run the extrapolation JSON-over-HTTP API (see README)
 
 run 'extrap <command> -h' for per-command flags.
 `)
@@ -580,19 +583,33 @@ func cmdCalibrate(out io.Writer) error {
 	return nil
 }
 
-func cmdExperiment(args []string, w io.Writer) error {
-	fs := flag.NewFlagSet("experiment", flag.ExitOnError)
+// parseExperimentFlags turns the experiment subcommand's arguments into
+// the engine Options plus output destinations. Split from cmdExperiment
+// (and parsed with ContinueOnError) so flag plumbing is testable without
+// the flag package exiting the process.
+func parseExperimentFlags(args []string) (opts experiments.Options, id, csvDir, svgDir string, err error) {
+	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "small problem sizes and a short processor ladder")
 	workers := fs.Int("workers", 0, "worker goroutines for the measurement/simulation grid (0 = all CPUs, 1 = sequential; output is identical at any value)")
-	csvDir := fs.String("csv", "", "also write each table as CSV into this directory")
-	svgDir := fs.String("svg", "", "also write each figure as SVG into this directory")
-	if err := fs.Parse(args); err != nil {
-		return err
+	csv := fs.String("csv", "", "also write each table as CSV into this directory")
+	svg := fs.String("svg", "", "also write each figure as SVG into this directory")
+	if err = fs.Parse(args); err != nil {
+		return opts, "", "", "", err
+	}
+	if *workers < 0 {
+		return opts, "", "", "", fmt.Errorf("experiment: -workers must be ≥ 0 (0 = all CPUs), got %d", *workers)
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("experiment: exactly one experiment id (or \"all\") required")
+		return opts, "", "", "", fmt.Errorf("experiment: exactly one experiment id (or \"all\") required")
 	}
-	id := fs.Arg(0)
+	return experiments.Options{Quick: *quick, Workers: *workers}, fs.Arg(0), *csv, *svg, nil
+}
+
+func cmdExperiment(args []string, w io.Writer) error {
+	opts, id, csvDir, svgDir, err := parseExperimentFlags(args)
+	if err != nil {
+		return err
+	}
 	var exps []experiments.Experiment
 	if id == "all" {
 		exps = experiments.All()
@@ -604,18 +621,18 @@ func cmdExperiment(args []string, w io.Writer) error {
 		exps = []experiments.Experiment{e}
 	}
 	for _, e := range exps {
-		out, err := e.Run(experiments.Options{Quick: *quick, Workers: *workers})
+		out, err := e.Run(opts)
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		out.Render(w)
-		if *csvDir != "" {
-			if err := writeCSVs(*csvDir, out); err != nil {
+		if csvDir != "" {
+			if err := writeCSVs(csvDir, out); err != nil {
 				return err
 			}
 		}
-		if *svgDir != "" {
-			if err := writeSVGs(*svgDir, out); err != nil {
+		if svgDir != "" {
+			if err := writeSVGs(svgDir, out); err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"extrap/internal/serve"
+)
+
+// cmdServe runs the extrapolation service: a JSON-over-HTTP API backed
+// by the shared experiment engine. It blocks until SIGINT/SIGTERM, then
+// drains in-flight requests and exits.
+func cmdServe(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	maxInflight := fs.Int("max-inflight", 32, "maximum concurrently executing compute requests")
+	queueWait := fs.Duration("queue-wait", 500*time.Millisecond, "how long an excess request may wait for a slot before a 429 (0 rejects immediately)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request pipeline deadline")
+	workers := fs.Int("workers", 0, "worker goroutines per sweep request (0 = all CPUs)")
+	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *maxInflight < 1 {
+		return fmt.Errorf("serve: -max-inflight must be ≥ 1, got %d", *maxInflight)
+	}
+	if *workers < 0 {
+		return fmt.Errorf("serve: -workers must be ≥ 0 (0 = all CPUs), got %d", *workers)
+	}
+	if *timeout <= 0 {
+		return fmt.Errorf("serve: -timeout must be positive, got %v", *timeout)
+	}
+
+	srv := serve.New(serve.Config{
+		MaxInFlight:    *maxInflight,
+		QueueWait:      *queueWait,
+		RequestTimeout: *timeout,
+		Workers:        *workers,
+		EnablePprof:    *pprofFlag,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(out, "extrap serve listening on http://%s (max-inflight=%d timeout=%v)\n",
+		ln.Addr(), *maxInflight, *timeout)
+	return srv.Serve(ctx, ln)
+}

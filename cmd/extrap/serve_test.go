@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestParseExperimentFlags: CLI flags must land in the engine Options
+// verbatim, with the id and output dirs split out.
+func TestParseExperimentFlags(t *testing.T) {
+	opts, id, csvDir, svgDir, err := parseExperimentFlags(
+		[]string{"-quick", "-workers", "3", "-csv", "/tmp/c", "-svg", "/tmp/s", "fig4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opts.Quick || opts.Workers != 3 {
+		t.Errorf("Options = %+v, want Quick=true Workers=3", opts)
+	}
+	if id != "fig4" || csvDir != "/tmp/c" || svgDir != "/tmp/s" {
+		t.Errorf("id=%q csv=%q svg=%q", id, csvDir, svgDir)
+	}
+
+	opts, id, _, _, err = parseExperimentFlags([]string{"all"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Quick || opts.Workers != 0 || id != "all" {
+		t.Errorf("defaults: opts=%+v id=%q", opts, id)
+	}
+}
+
+// TestExperimentBadWorkers: nonsense -workers values are rejected before
+// any experiment runs.
+func TestExperimentBadWorkers(t *testing.T) {
+	var buf bytes.Buffer
+	err := dispatch("experiment", []string{"-workers", "-3", "fig4"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "-workers") {
+		t.Errorf("negative -workers: err = %v", err)
+	}
+	if err := dispatch("experiment", []string{"-workers", "abc", "fig4"}, &buf); err == nil {
+		t.Error("non-numeric -workers accepted")
+	}
+	if err := dispatch("experiment", []string{"-workers", "2"}, &buf); err == nil {
+		t.Error("missing experiment id accepted")
+	}
+}
+
+// TestServeFlagValidation: serve's flag plumbing rejects unusable
+// configurations without binding a socket.
+func TestServeFlagValidation(t *testing.T) {
+	var buf bytes.Buffer
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"zero max-inflight", []string{"-max-inflight", "0", "-addr", "127.0.0.1:0"}},
+		{"negative workers", []string{"-workers", "-1", "-addr", "127.0.0.1:0"}},
+		{"zero timeout", []string{"-timeout", "0s", "-addr", "127.0.0.1:0"}},
+		{"non-numeric max-inflight", []string{"-max-inflight", "abc"}},
+		{"unparseable port", []string{"-addr", "127.0.0.1:99999999"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := dispatch("serve", tc.args, &buf); err == nil {
+				t.Errorf("serve %v accepted", tc.args)
+			}
+		})
+	}
+}

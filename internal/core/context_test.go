@@ -1,0 +1,60 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// cancelledCtx returns an already-cancelled context.
+func cancelledCtx() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}
+
+func TestContextVariantsMatchPlainPipeline(t *testing.T) {
+	ctx := context.Background()
+	want, err := Run(testProgram(4), MeasureOptions{}, freeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunContext(ctx, testProgram(4), MeasureOptions{}, freeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Result.TotalTime != want.Result.TotalTime {
+		t.Errorf("RunContext TotalTime = %v, Run = %v", got.Result.TotalTime, want.Result.TotalTime)
+	}
+}
+
+func TestCancelledContextStopsEachStage(t *testing.T) {
+	ctx := cancelledCtx()
+	if _, err := MeasureContext(ctx, testProgram(2), MeasureOptions{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("MeasureContext error = %v, want context.Canceled", err)
+	}
+	tr, err := Measure(testProgram(2), MeasureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExtrapolateContext(ctx, tr, freeConfig()); !errors.Is(err, context.Canceled) {
+		t.Errorf("ExtrapolateContext error = %v, want context.Canceled", err)
+	}
+	if _, err := RunContext(ctx, testProgram(2), MeasureOptions{}, freeConfig()); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunContext error = %v, want context.Canceled", err)
+	}
+}
+
+func TestParallelSweepContextCancellation(t *testing.T) {
+	f := func(n int) Program { return testProgram(n) }
+	if _, err := ParallelSweepContext(cancelledCtx(), f, MeasureOptions{}, freeConfig(), []int{1, 2, 4}, 2); !errors.Is(err, context.Canceled) {
+		t.Errorf("ParallelSweepContext error = %v, want context.Canceled", err)
+	}
+	pts, err := ParallelSweepContext(context.Background(), f, MeasureOptions{}, freeConfig(), []int{1, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].Procs != 1 || pts[1].Procs != 2 {
+		t.Errorf("sweep points = %+v", pts)
+	}
+}

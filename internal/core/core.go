@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"extrap/internal/metrics"
@@ -44,6 +45,18 @@ type MeasureOptions struct {
 	SizeMode pcxx.SizeMode
 	// Seed feeds deterministic program randomness.
 	Seed uint64
+}
+
+// MeasureContext is Measure with an up-front cancellation check. The
+// measurement run itself is not interruptible — it is a deterministic,
+// bounded virtual-clock execution — so the context gates whether the run
+// starts, not how long it takes. Callers that must bound measurement
+// work should bound the problem size instead.
+func MeasureContext(ctx context.Context, p Program, opts MeasureOptions) (*trace.Trace, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: measuring %q: %w", p.Name, err)
+	}
+	return Measure(p, opts)
 }
 
 // Measure runs the program under the instrumented 1-processor runtime and
@@ -91,11 +104,22 @@ type Outcome struct {
 // Extrapolate translates a measurement trace and simulates it against the
 // target environment.
 func Extrapolate(tr *trace.Trace, cfg sim.Config) (*Outcome, error) {
+	return ExtrapolateContext(context.Background(), tr, cfg)
+}
+
+// ExtrapolateContext is Extrapolate under a caller deadline: the context
+// is checked between the translation and simulation stages and polled
+// inside the simulation event loop, so a cancelled request abandons the
+// pipeline promptly with an error satisfying errors.Is against ctx.Err().
+func ExtrapolateContext(ctx context.Context, tr *trace.Trace, cfg sim.Config) (*Outcome, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: extrapolation not started: %w", err)
+	}
 	pt, err := translate.Translate(tr)
 	if err != nil {
 		return nil, err
 	}
-	res, err := sim.Simulate(pt, cfg)
+	res, err := sim.SimulateContext(ctx, pt, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -105,11 +129,17 @@ func Extrapolate(tr *trace.Trace, cfg sim.Config) (*Outcome, error) {
 // Run measures the program and extrapolates it to the target environment
 // in one call.
 func Run(p Program, opts MeasureOptions, cfg sim.Config) (*Outcome, error) {
-	tr, err := Measure(p, opts)
+	return RunContext(context.Background(), p, opts, cfg)
+}
+
+// RunContext is Run with the caller's context threaded through every
+// pipeline stage.
+func RunContext(ctx context.Context, p Program, opts MeasureOptions, cfg sim.Config) (*Outcome, error) {
+	tr, err := MeasureContext(ctx, p, opts)
 	if err != nil {
 		return nil, err
 	}
-	return Extrapolate(tr, cfg)
+	return ExtrapolateContext(ctx, tr, cfg)
 }
 
 // ProgramFactory builds a program for a given thread count — how

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -19,10 +20,18 @@ import (
 // them, so any worker count produces identical output — measurement is
 // deterministic (fixed seed) and each point's pipeline is independent.
 func ParallelSweep(f ProgramFactory, opts MeasureOptions, cfg sim.Config, procCounts []int, workers int) ([]metrics.Point, error) {
+	return ParallelSweepContext(context.Background(), f, opts, cfg, procCounts, workers)
+}
+
+// ParallelSweepContext is ParallelSweep under a caller deadline: each
+// ladder point checks the context before starting and threads it through
+// its measure/translate/simulate pipeline, so one cancellation abandons
+// the whole sweep.
+func ParallelSweepContext(ctx context.Context, f ProgramFactory, opts MeasureOptions, cfg sim.Config, procCounts []int, workers int) ([]metrics.Point, error) {
 	points := make([]metrics.Point, len(procCounts))
 	err := pool.Run(workers, len(procCounts), func(i int) error {
 		n := procCounts[i]
-		out, err := Run(f(n), opts, cfg)
+		out, err := RunContext(ctx, f(n), opts, cfg)
 		if err != nil {
 			return fmt.Errorf("core: sweep at %d procs: %w", n, err)
 		}

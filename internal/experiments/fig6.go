@@ -40,7 +40,7 @@ func runFig6(opts Options) (*Output, error) {
 	// One job per (benchmark, ratio) curve; the memo cache shares each
 	// benchmark's per-ladder measurements across all three ratios.
 	r := newRunner(opts)
-	var jobs []sweepJob
+	var jobs []SweepJob
 	for _, g := range graphs {
 		b, err := benchmarks.ByName(g.bench)
 		if err != nil {

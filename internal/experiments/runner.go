@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"extrap/internal/benchmarks"
 	"extrap/internal/core"
 	"extrap/internal/metrics"
@@ -33,8 +35,8 @@ func (r *runner) each(n int, fn func(i int) error) error {
 	return pool.Run(r.opts.Workers, n, fn)
 }
 
-// key builds the memo-cache key for one measurement.
-func (r *runner) key(bench string, size benchmarks.Size, threads int, mopts core.MeasureOptions) core.CacheKey {
+// cacheKey builds the memo-cache key for one measurement.
+func cacheKey(bench string, size benchmarks.Size, threads int, mopts core.MeasureOptions) core.CacheKey {
 	return core.CacheKey{
 		Bench:   bench,
 		N:       size.N,
@@ -48,7 +50,7 @@ func (r *runner) key(bench string, size benchmarks.Size, threads int, mopts core
 // measured returns the (cached) measurement trace for one benchmark run.
 // The returned trace is shared — callers must treat it as read-only.
 func (r *runner) measured(bench string, size benchmarks.Size, threads int, mopts core.MeasureOptions, f core.ProgramFactory) (*trace.Trace, error) {
-	return r.cache.Measure(r.key(bench, size, threads, mopts), func() (*trace.Trace, error) {
+	return r.cache.Measure(cacheKey(bench, size, threads, mopts), func() (*trace.Trace, error) {
 		return core.Measure(f(threads), mopts)
 	})
 }
@@ -56,16 +58,18 @@ func (r *runner) measured(bench string, size benchmarks.Size, threads int, mopts
 // translated returns the (cached) translated trace for one benchmark run,
 // measuring and translating on first use.
 func (r *runner) translated(bench string, size benchmarks.Size, threads int, mopts core.MeasureOptions, f core.ProgramFactory) (*translate.ParallelTrace, error) {
-	return r.cache.Translated(r.key(bench, size, threads, mopts), func() (*trace.Trace, error) {
+	return r.cache.Translated(cacheKey(bench, size, threads, mopts), func() (*trace.Trace, error) {
 		return core.Measure(f(threads), mopts)
 	})
 }
 
-// sweepJob is one curve of a parameter grid: a benchmark swept over the
+// SweepJob is one curve of a parameter grid: a benchmark swept over the
 // processor ladder under one simulation configuration. Jobs naming the
 // same benchmark/size/mode share measurement traces through the memo
-// cache regardless of how their configs differ.
-type sweepJob struct {
+// cache regardless of how their configs differ. SweepJob is exported so
+// callers outside the registered experiments — notably the `extrap
+// serve` API — run the same grid machinery the paper's experiments use.
+type SweepJob struct {
 	// Name identifies the program for the memo cache; include variant
 	// parameters that change program behavior.
 	Name string
@@ -83,8 +87,8 @@ type sweepJob struct {
 
 // job is a convenience constructor for the common benchmark-over-ladder
 // case.
-func (r *runner) job(b benchmarks.Benchmark, mode pcxx.SizeMode, cfg sim.Config, procs []int) sweepJob {
-	return sweepJob{
+func (r *runner) job(b benchmarks.Benchmark, mode pcxx.SizeMode, cfg sim.Config, procs []int) SweepJob {
+	return SweepJob{
 		Name:    b.Name(),
 		Size:    r.opts.size(b),
 		Factory: b.Factory(r.opts.size(b)),
@@ -94,11 +98,17 @@ func (r *runner) job(b benchmarks.Benchmark, mode pcxx.SizeMode, cfg sim.Config,
 	}
 }
 
-// runGrid fans every (job, processor count) cell of the grid across the
+// runGrid fans the grid across the experiment's worker pool.
+func (r *runner) runGrid(jobs []SweepJob) ([][]metrics.Point, error) {
+	return runGrid(context.Background(), r.cache, r.opts.Workers, jobs)
+}
+
+// runGrid fans every (job, processor count) cell of the grid across a
 // worker pool and returns one point series per job, in job order. Each
 // cell measures through the memo cache (so cells sharing a measurement
-// wait for one run, then share the trace) and simulates independently.
-func (r *runner) runGrid(jobs []sweepJob) ([][]metrics.Point, error) {
+// wait for one run, then share the trace) and simulates independently
+// under ctx, which bounds the simulation work of every cell.
+func runGrid(ctx context.Context, cache *core.TraceCache, workers int, jobs []SweepJob) ([][]metrics.Point, error) {
 	// Flatten the grid so the pool load-balances across cells of every
 	// job, not one job at a time.
 	type cell struct{ job, pt int }
@@ -110,15 +120,20 @@ func (r *runner) runGrid(jobs []sweepJob) ([][]metrics.Point, error) {
 			cells = append(cells, cell{j, i})
 		}
 	}
-	err := r.each(len(cells), func(c int) error {
+	err := pool.Run(workers, len(cells), func(c int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		job := &jobs[cells[c].job]
 		n := job.Procs[cells[c].pt]
 		mopts := core.MeasureOptions{SizeMode: job.Mode}
-		pt, err := r.translated(job.Name, job.Size, n, mopts, job.Factory)
+		pt, err := cache.Translated(cacheKey(job.Name, job.Size, n, mopts), func() (*trace.Trace, error) {
+			return core.Measure(job.Factory(n), mopts)
+		})
 		if err != nil {
 			return err
 		}
-		res, err := sim.Simulate(pt, job.Cfg)
+		res, err := sim.SimulateContext(ctx, pt, job.Cfg)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"extrap/internal/benchmarks"
+	"extrap/internal/core"
+	"extrap/internal/metrics"
+	"extrap/internal/pcxx"
+	"extrap/internal/sim"
+	"extrap/internal/trace"
+)
+
+// Service is the experiment engine packaged as a long-lived component:
+// a shared measurement/translation memo cache plus the grid runner,
+// reusable across many independent requests instead of one experiment
+// run. It backs the `extrap serve` HTTP API — every prediction the API
+// returns goes through exactly the pipeline the paper's experiments use,
+// and repeated requests for the same (benchmark, size, threads)
+// share one measurement through the cache.
+//
+// A Service is safe for concurrent use.
+type Service struct {
+	cache   *core.TraceCache
+	workers int
+}
+
+// NewService returns a Service whose sweeps fan out over at most workers
+// goroutines (≤ 0 selects GOMAXPROCS).
+func NewService(workers int) *Service {
+	return &Service{cache: core.NewTraceCache(), workers: workers}
+}
+
+// CacheStats reports the memo cache's lookup effectiveness: lookups
+// served from memory and measurement runs performed.
+func (s *Service) CacheStats() (hits, misses int64) { return s.cache.Stats() }
+
+// Extrapolate predicts one benchmark configuration on one target
+// environment: measure (or reuse) the threads-thread trace, translate
+// it, and simulate it under cfg. The context bounds the simulation; the
+// measurement itself is deterministic and cached, so it is never
+// poisoned by a caller's deadline.
+func (s *Service) Extrapolate(ctx context.Context, b benchmarks.Benchmark, size benchmarks.Size, threads int, mode pcxx.SizeMode, cfg sim.Config) (*core.Outcome, error) {
+	if threads <= 0 {
+		return nil, fmt.Errorf("experiments: invalid thread count %d", threads)
+	}
+	mopts := core.MeasureOptions{SizeMode: mode}
+	key := cacheKey(b.Name(), size, threads, mopts)
+	measure := func() (*trace.Trace, error) {
+		return core.Measure(b.Factory(size)(threads), mopts)
+	}
+	tr, err := s.cache.Measure(key, measure)
+	if err != nil {
+		return nil, err
+	}
+	pt, err := s.cache.Translated(key, measure)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.SimulateContext(ctx, pt, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Outcome{Measurement: tr, Parallel: pt, Result: res}, nil
+}
+
+// Sweep runs one processor-ladder sweep job through the shared cache and
+// worker pool, returning the scaling series in ladder order. Output is
+// byte-identical at any worker count (the grid runner's invariant).
+func (s *Service) Sweep(ctx context.Context, job SweepJob) ([]metrics.Point, error) {
+	series, err := runGrid(ctx, s.cache, s.workers, []SweepJob{job})
+	if err != nil {
+		return nil, err
+	}
+	return series[0], nil
+}

@@ -65,7 +65,7 @@ func TestRunnerCachesMeasurements(t *testing.T) {
 	// directly: six same-benchmark jobs over the ladder must report
 	// len(procs) measurements, not jobs×procs.
 	r := newRunner(Options{Quick: true, Procs: procs, Workers: 2})
-	var jobs []sweepJob
+	var jobs []SweepJob
 	for i := 0; i < mgridJobCount; i++ {
 		b := mustBench(t, "mgrid")
 		jobs = append(jobs, r.job(b, 0, freeCfg(), procs))

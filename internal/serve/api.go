@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"extrap/internal/benchmarks"
+	"extrap/internal/machine"
+)
+
+// Request ceilings: the API bounds per-request work up front because the
+// measurement stage runs to completion once started (only the simulation
+// stage honors the request deadline). The limits are generous — well
+// past the paper's largest configurations — while keeping a single
+// request from monopolizing the server.
+const (
+	maxThreads   = 256
+	maxSize      = 1 << 16
+	maxIters     = 1 << 16
+	maxLadderLen = 16
+	maxBodyBytes = 1 << 20
+)
+
+// ExtrapolateRequest asks for one prediction: measure benchmark at
+// threads threads, translate, and simulate on machine with procs
+// processors.
+type ExtrapolateRequest struct {
+	// Benchmark is a suite benchmark name (see GET /v1/benchmarks).
+	Benchmark string `json:"benchmark"`
+	// Size is the problem dimension N; 0 selects the benchmark default.
+	Size int `json:"size,omitempty"`
+	// Iters is the iteration count; 0 selects the benchmark default.
+	Iters int `json:"iters,omitempty"`
+	// Threads is the measured thread count (≥ 1).
+	Threads int `json:"threads"`
+	// Procs is the simulated processor count; 0 means one per thread.
+	// Must divide Threads.
+	Procs int `json:"procs,omitempty"`
+	// Machine is a target environment preset name (see GET /v1/machines).
+	Machine string `json:"machine"`
+}
+
+// SweepRequest asks for a processor-scaling ladder: each ladder point n
+// is measured with n threads and simulated on n processors of machine.
+type SweepRequest struct {
+	Benchmark string `json:"benchmark"`
+	Size      int    `json:"size,omitempty"`
+	Iters     int    `json:"iters,omitempty"`
+	Machine   string `json:"machine"`
+	// Procs is the ladder; empty selects the paper's {1,2,4,8,16,32}.
+	Procs []int `json:"procs,omitempty"`
+}
+
+// BreakdownJSON is the predicted activity share of total thread time.
+type BreakdownJSON struct {
+	Compute     float64 `json:"compute"`
+	CommWait    float64 `json:"comm_wait"`
+	BarrierWait float64 `json:"barrier_wait"`
+	Service     float64 `json:"service"`
+	CPUWait     float64 `json:"cpu_wait"`
+}
+
+// ExtrapolateResponse is one prediction. Every field is derived from the
+// deterministic pipeline, so identical requests produce byte-identical
+// responses regardless of concurrency or cache state.
+type ExtrapolateResponse struct {
+	Benchmark    string        `json:"benchmark"`
+	Machine      string        `json:"machine"`
+	Size         int           `json:"size"`
+	Iters        int           `json:"iters"`
+	Threads      int           `json:"threads"`
+	Procs        int           `json:"procs"`
+	Measured1PMs float64       `json:"measured_1p_ms"`
+	IdealMs      float64       `json:"ideal_ms"`
+	PredictedMs  float64       `json:"predicted_ms"`
+	Speedup      float64       `json:"speedup"`
+	Barriers     int           `json:"barriers"`
+	Messages     int64         `json:"messages"`
+	Breakdown    BreakdownJSON `json:"breakdown"`
+}
+
+// SweepPoint is one ladder entry of a sweep response.
+type SweepPoint struct {
+	Procs       int     `json:"procs"`
+	PredictedMs float64 `json:"predicted_ms"`
+	Speedup     float64 `json:"speedup"`
+	Efficiency  float64 `json:"efficiency"`
+}
+
+// SweepResponse is a processor-scaling series.
+type SweepResponse struct {
+	Benchmark string       `json:"benchmark"`
+	Machine   string       `json:"machine"`
+	Size      int          `json:"size"`
+	Iters     int          `json:"iters"`
+	Points    []SweepPoint `json:"points"`
+}
+
+// BenchmarkInfo describes one suite benchmark in GET /v1/benchmarks.
+type BenchmarkInfo struct {
+	Name         string `json:"name"`
+	Description  string `json:"description"`
+	DefaultSize  int    `json:"default_size"`
+	DefaultIters int    `json:"default_iters"`
+}
+
+// MachineInfo describes one environment preset in GET /v1/machines.
+type MachineInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// apiError is the typed error envelope every failure returns:
+// {"error":{"code":..., "message":...}} with the matching HTTP status.
+type apiError struct {
+	Status  int    `json:"-"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func (e *apiError) Error() string { return e.Message }
+
+// errf builds an apiError with a formatted message.
+func errf(status int, code, format string, args ...any) *apiError {
+	return &apiError{Status: status, Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// decodeJSON parses a request body into dst with strict field checking.
+func decodeJSON(r *http.Request, dst any) *apiError {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return errf(http.StatusBadRequest, "invalid_json", "decoding request body: %v", err)
+	}
+	return nil
+}
+
+// resolveBenchmark validates and resolves a benchmark name plus its size
+// parameters, substituting defaults for zero fields.
+func resolveBenchmark(name string, size, iters int) (benchmarks.Benchmark, benchmarks.Size, *apiError) {
+	if name == "" {
+		return nil, benchmarks.Size{}, errf(http.StatusBadRequest, "missing_benchmark", "benchmark is required")
+	}
+	b, err := benchmarks.ByName(name)
+	if err != nil {
+		return nil, benchmarks.Size{}, errf(http.StatusBadRequest, "unknown_benchmark", "%v", err)
+	}
+	if size < 0 || size > maxSize {
+		return nil, benchmarks.Size{}, errf(http.StatusBadRequest, "invalid_size", "size must be in [0, %d], got %d", maxSize, size)
+	}
+	if iters < 0 || iters > maxIters {
+		return nil, benchmarks.Size{}, errf(http.StatusBadRequest, "invalid_iters", "iters must be in [0, %d], got %d", maxIters, iters)
+	}
+	sz := b.DefaultSize()
+	if size > 0 {
+		sz.N = size
+	}
+	if iters > 0 {
+		sz.Iters = iters
+	}
+	sz.Verify = false
+	return b, sz, nil
+}
+
+// resolveMachine validates and resolves an environment preset name.
+func resolveMachine(name string) (machine.Env, *apiError) {
+	if name == "" {
+		return machine.Env{}, errf(http.StatusBadRequest, "missing_machine", "machine is required")
+	}
+	env, err := machine.ByName(name)
+	if err != nil {
+		return machine.Env{}, errf(http.StatusBadRequest, "unknown_machine", "%v", err)
+	}
+	return env, nil
+}
+
+// resolve validates an extrapolation request and returns its resolved
+// parts: the benchmark, the concrete size, the environment, and the
+// effective processor count.
+func (req *ExtrapolateRequest) resolve() (benchmarks.Benchmark, benchmarks.Size, machine.Env, int, *apiError) {
+	b, sz, apiErr := resolveBenchmark(req.Benchmark, req.Size, req.Iters)
+	if apiErr != nil {
+		return nil, benchmarks.Size{}, machine.Env{}, 0, apiErr
+	}
+	env, apiErr := resolveMachine(req.Machine)
+	if apiErr != nil {
+		return nil, benchmarks.Size{}, machine.Env{}, 0, apiErr
+	}
+	if req.Threads < 1 || req.Threads > maxThreads {
+		return nil, benchmarks.Size{}, machine.Env{}, 0,
+			errf(http.StatusBadRequest, "invalid_threads", "threads must be in [1, %d], got %d", maxThreads, req.Threads)
+	}
+	procs := req.Procs
+	if procs == 0 {
+		procs = req.Threads
+	}
+	if procs < 0 || procs > req.Threads || req.Threads%procs != 0 {
+		return nil, benchmarks.Size{}, machine.Env{}, 0,
+			errf(http.StatusBadRequest, "invalid_procs", "procs must be a positive divisor of threads (threads=%d, procs=%d)", req.Threads, req.Procs)
+	}
+	return b, sz, env, procs, nil
+}
+
+// resolve validates a sweep request and returns the benchmark, size,
+// environment, and ladder.
+func (req *SweepRequest) resolve() (benchmarks.Benchmark, benchmarks.Size, machine.Env, []int, *apiError) {
+	b, sz, apiErr := resolveBenchmark(req.Benchmark, req.Size, req.Iters)
+	if apiErr != nil {
+		return nil, benchmarks.Size{}, machine.Env{}, nil, apiErr
+	}
+	env, apiErr := resolveMachine(req.Machine)
+	if apiErr != nil {
+		return nil, benchmarks.Size{}, machine.Env{}, nil, apiErr
+	}
+	ladder := req.Procs
+	if len(ladder) == 0 {
+		ladder = []int{1, 2, 4, 8, 16, 32}
+	}
+	if len(ladder) > maxLadderLen {
+		return nil, benchmarks.Size{}, machine.Env{}, nil,
+			errf(http.StatusBadRequest, "invalid_procs", "ladder has %d entries, max %d", len(ladder), maxLadderLen)
+	}
+	for _, n := range ladder {
+		if n < 1 || n > maxThreads {
+			return nil, benchmarks.Size{}, machine.Env{}, nil,
+				errf(http.StatusBadRequest, "invalid_procs", "ladder entry %d out of [1, %d]", n, maxThreads)
+		}
+	}
+	return b, sz, env, ladder, nil
+}

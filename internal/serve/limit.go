@@ -1,0 +1,45 @@
+package serve
+
+import (
+	"context"
+	"time"
+)
+
+// limiter bounds the number of compute requests in flight. Excess
+// requests may queue for a slot up to a configurable wait; past that
+// they are shed so the server degrades by rejecting (429) instead of
+// collapsing under unbounded concurrent simulations.
+type limiter struct {
+	slots chan struct{}
+	wait  time.Duration
+}
+
+func newLimiter(n int, wait time.Duration) *limiter {
+	return &limiter{slots: make(chan struct{}, n), wait: wait}
+}
+
+// acquire claims a slot, queueing up to the limiter's wait while the
+// request's context stays live. It reports whether a slot was obtained;
+// callers must release exactly once when it returns true.
+func (l *limiter) acquire(ctx context.Context) bool {
+	select {
+	case l.slots <- struct{}{}:
+		return true
+	default:
+	}
+	if l.wait <= 0 {
+		return false
+	}
+	timer := time.NewTimer(l.wait)
+	defer timer.Stop()
+	select {
+	case l.slots <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	case <-timer.C:
+		return false
+	}
+}
+
+func (l *limiter) release() { <-l.slots }

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+)
+
+// metricsSet is the server's observability slice, held as expvar vars.
+// The vars are deliberately NOT published into the process-global expvar
+// registry — expvar.Publish panics on duplicate names, which would
+// forbid running more than one Server per process (tests do, and
+// embedders may). Instead the server's own GET /debug/vars handler
+// renders this set alongside the globals expvar publishes by default
+// (cmdline, memstats).
+type metricsSet struct {
+	requests    *expvar.Map // request count by route
+	statuses    *expvar.Map // response count by status class ("2xx", ...)
+	rejected    *expvar.Int // requests shed by the in-flight limiter
+	inflight    *expvar.Int // compute requests currently holding a slot
+	latencyUs   *expvar.Int // cumulative handler wall time, µs
+	cacheHits   *expvar.Int // trace-cache lookups served from memory
+	cacheMisses *expvar.Int // measurement runs performed
+}
+
+func newMetricsSet() *metricsSet {
+	return &metricsSet{
+		requests:    new(expvar.Map).Init(),
+		statuses:    new(expvar.Map).Init(),
+		rejected:    new(expvar.Int),
+		inflight:    new(expvar.Int),
+		latencyUs:   new(expvar.Int),
+		cacheHits:   new(expvar.Int),
+		cacheMisses: new(expvar.Int),
+	}
+}
+
+// vars assembles the set as one expvar.Map for rendering.
+func (m *metricsSet) vars() *expvar.Map {
+	v := new(expvar.Map).Init()
+	v.Set("requests", m.requests)
+	v.Set("responses_by_status", m.statuses)
+	v.Set("rejected", m.rejected)
+	v.Set("inflight", m.inflight)
+	v.Set("latency_us_total", m.latencyUs)
+	v.Set("cache_hits", m.cacheHits)
+	v.Set("cache_misses", m.cacheMisses)
+	return v
+}
+
+// handleVars serves GET /debug/vars in the standard expvar JSON shape:
+// the server's own counters under "extrap_serve", then every var
+// published in the process-global registry.
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.svc.CacheStats()
+	s.met.cacheHits.Set(hits)
+	s.met.cacheMisses.Set(misses)
+
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	fmt.Fprintf(w, "{\n%q: %s", "extrap_serve", s.met.vars().String())
+	expvar.Do(func(kv expvar.KeyValue) {
+		fmt.Fprintf(w, ",\n%q: %s", kv.Key, kv.Value.String())
+	})
+	fmt.Fprintf(w, "\n}\n")
+}
+
+// statusRecorder captures the response status for metrics and logging.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += n
+	return n, err
+}
+
+// statusClass buckets an HTTP status for the responses_by_status map.
+func statusClass(code int) string {
+	switch {
+	case code >= 500:
+		return "5xx"
+	case code >= 400:
+		return "4xx"
+	case code >= 300:
+		return "3xx"
+	default:
+		return "2xx"
+	}
+}

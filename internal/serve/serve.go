@@ -1,0 +1,342 @@
+// Package serve exposes the extrapolation pipeline as a JSON-over-HTTP
+// service: POST /v1/extrapolate predicts a single {benchmark, size,
+// threads, procs, machine} configuration, POST /v1/sweep a processor
+// ladder, and GET /v1/benchmarks and /v1/machines enumerate the
+// registries. Requests run through the shared experiment engine
+// (measurement memo cache + grid runner), so repeated and concurrent
+// requests for the same configuration share one measurement and return
+// byte-identical bodies.
+//
+// Operationally the server is load-shaped: compute endpoints pass
+// through a bounded in-flight limiter (excess requests queue briefly,
+// then are shed with 429), every request carries a deadline threaded
+// into the pipeline via context, request/latency/cache counters are
+// exported at GET /debug/vars, net/http/pprof can be mounted under
+// /debug/pprof/, and shutdown drains in-flight requests gracefully.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"strconv"
+	"time"
+
+	"extrap/internal/benchmarks"
+	"extrap/internal/experiments"
+	"extrap/internal/machine"
+	"extrap/internal/metrics"
+	"extrap/internal/pcxx"
+)
+
+// Config shapes a Server.
+type Config struct {
+	// MaxInFlight bounds concurrently executing compute requests
+	// (extrapolate and sweep); ≤ 0 selects the default of 32.
+	MaxInFlight int
+	// QueueWait is how long an excess compute request may wait for a
+	// slot before being shed with 429; 0 sheds immediately.
+	QueueWait time.Duration
+	// RequestTimeout is the per-request pipeline budget; ≤ 0 selects
+	// the default of 30s.
+	RequestTimeout time.Duration
+	// Workers bounds the goroutines a sweep fans its ladder across;
+	// ≤ 0 selects GOMAXPROCS.
+	Workers int
+	// EnablePprof mounts net/http/pprof handlers under /debug/pprof/.
+	EnablePprof bool
+	// ShutdownGrace bounds how long Serve waits for in-flight requests
+	// on shutdown; ≤ 0 selects the default of 10s.
+	ShutdownGrace time.Duration
+	// Logger receives structured request logs; nil selects a text
+	// logger on stderr.
+	Logger *slog.Logger
+}
+
+// Server is the extrapolation service.
+type Server struct {
+	cfg Config
+	svc *experiments.Service
+	lim *limiter
+	met *metricsSet
+	log *slog.Logger
+}
+
+// New returns a Server with cfg's zero fields defaulted.
+func New(cfg Config) *Server {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 32
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.ShutdownGrace <= 0 {
+		cfg.ShutdownGrace = 10 * time.Second
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	return &Server{
+		cfg: cfg,
+		svc: experiments.NewService(cfg.Workers),
+		lim: newLimiter(cfg.MaxInFlight, cfg.QueueWait),
+		met: newMetricsSet(),
+		log: logger,
+	}
+}
+
+// Handler returns the service's routes behind the logging/metrics
+// middleware.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/extrapolate", s.limited(s.handleExtrapolate))
+	mux.HandleFunc("POST /v1/sweep", s.limited(s.handleSweep))
+	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	mux.HandleFunc("GET /v1/machines", s.handleMachines)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	mux.HandleFunc("GET /debug/vars", s.handleVars)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return s.instrument(mux)
+}
+
+// Serve accepts connections on ln until ctx is cancelled, then shuts
+// down gracefully: the listener closes, in-flight requests get up to
+// ShutdownGrace to finish, and Serve returns nil on a clean drain.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.log.Info("shutting down", "grace", s.cfg.ShutdownGrace)
+	shctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
+	defer cancel()
+	if err := hs.Shutdown(shctx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// instrument wraps the mux with request accounting and structured logs.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		dur := time.Since(start)
+		s.met.requests.Add(r.URL.Path, 1)
+		s.met.statuses.Add(statusClass(rec.status), 1)
+		s.met.latencyUs.Add(dur.Microseconds())
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"bytes", rec.bytes,
+			"dur_ms", float64(dur.Microseconds())/1000,
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// limited gates a compute handler behind the in-flight limiter and arms
+// the per-request deadline that the pipeline observes.
+func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.lim.acquire(r.Context()) {
+			s.met.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, errf(http.StatusTooManyRequests, "overloaded",
+				"server at its in-flight limit; retry shortly"))
+			return
+		}
+		defer s.lim.release()
+		s.met.inflight.Add(1)
+		defer s.met.inflight.Add(-1)
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		h(w, r.WithContext(ctx))
+	}
+}
+
+// handleExtrapolate serves POST /v1/extrapolate.
+func (s *Server) handleExtrapolate(w http.ResponseWriter, r *http.Request) {
+	var req ExtrapolateRequest
+	if apiErr := decodeJSON(r, &req); apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	b, sz, env, procs, apiErr := req.resolve()
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	cfg := env.Config
+	cfg.Procs = procs
+	out, err := s.svc.Extrapolate(r.Context(), b, sz, req.Threads, pcxx.ActualSize, cfg)
+	if err != nil {
+		writeError(w, pipelineError(err))
+		return
+	}
+	resp := ExtrapolateResponse{
+		Benchmark:    b.Name(),
+		Machine:      env.Name,
+		Size:         sz.N,
+		Iters:        sz.Iters,
+		Threads:      req.Threads,
+		Procs:        procs,
+		Measured1PMs: out.Measurement.Duration().Millis(),
+		IdealMs:      out.Parallel.Duration().Millis(),
+		PredictedMs:  out.Result.TotalTime.Millis(),
+		Barriers:     out.Result.Barriers,
+		Messages:     out.Result.Net.Messages,
+	}
+	if out.Result.TotalTime > 0 {
+		resp.Speedup = float64(out.Measurement.Duration()) / float64(out.Result.TotalTime)
+	}
+	bd := metrics.ComputeBreakdown(out.Result)
+	resp.Breakdown = BreakdownJSON{
+		Compute:     bd.Compute,
+		CommWait:    bd.CommWait,
+		BarrierWait: bd.BarrierWait,
+		Service:     bd.Service,
+		CPUWait:     bd.CPUWait,
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSweep serves POST /v1/sweep.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if apiErr := decodeJSON(r, &req); apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	b, sz, env, ladder, apiErr := req.resolve()
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	job := experiments.SweepJob{
+		Name:    b.Name(),
+		Size:    sz,
+		Factory: b.Factory(sz),
+		Mode:    pcxx.ActualSize,
+		Cfg:     env.Config,
+		Procs:   ladder,
+	}
+	points, err := s.svc.Sweep(r.Context(), job)
+	if err != nil {
+		writeError(w, pipelineError(err))
+		return
+	}
+	speedups := metrics.Speedup(points)
+	effs := metrics.Efficiency(points)
+	resp := SweepResponse{
+		Benchmark: b.Name(),
+		Machine:   env.Name,
+		Size:      sz.N,
+		Iters:     sz.Iters,
+		Points:    make([]SweepPoint, len(points)),
+	}
+	for i, p := range points {
+		resp.Points[i] = SweepPoint{
+			Procs:       p.Procs,
+			PredictedMs: p.Time.Millis(),
+			Speedup:     speedups[i],
+			Efficiency:  effs[i],
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleBenchmarks serves GET /v1/benchmarks.
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	all := benchmarks.All()
+	out := make([]BenchmarkInfo, len(all))
+	for i, b := range all {
+		d := b.DefaultSize()
+		out[i] = BenchmarkInfo{
+			Name:         b.Name(),
+			Description:  b.Description(),
+			DefaultSize:  d.N,
+			DefaultIters: d.Iters,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleMachines serves GET /v1/machines.
+func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {
+	presets := machine.Presets()
+	out := make([]MachineInfo, len(presets))
+	for i, e := range presets {
+		out[i] = MachineInfo{Name: e.Name, Description: e.Description}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleHealth serves GET /v1/healthz — a readiness probe for smoke
+// tests and load balancers.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// pipelineError maps a pipeline failure to a typed API error: caller
+// deadlines surface as 504, anything else as 422 (the input was
+// well-formed but the configuration cannot be extrapolated).
+func pipelineError(err error) *apiError {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return errf(http.StatusGatewayTimeout, "timeout", "request deadline exceeded: %v", err)
+	}
+	return errf(http.StatusUnprocessableEntity, "extrapolation_failed", "%v", err)
+}
+
+// writeJSON writes v as the response body with status code.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, errf(http.StatusInternalServerError, "internal", "encoding response: %v", err))
+		return
+	}
+	body = append(body, '\n')
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// writeError writes the typed error envelope.
+func writeError(w http.ResponseWriter, e *apiError) {
+	body, _ := json.Marshal(struct {
+		Error *apiError `json:"error"`
+	}{e})
+	body = append(body, '\n')
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(e.Status)
+	w.Write(body)
+}

@@ -1,0 +1,405 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newTestServer returns a Server with quiet logging and test-friendly
+// defaults, plus an httptest server mounted on its handler.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// post sends a JSON body and returns status and body bytes.
+func post(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// extrapBody builds a small extrapolate request payload.
+func extrapBody(bench string, threads int, machine string) string {
+	return fmt.Sprintf(`{"benchmark":%q,"size":16,"iters":4,"threads":%d,"machine":%q}`,
+		bench, threads, machine)
+}
+
+// TestConcurrentExtrapolateByteIdentical is the acceptance load test:
+// 32 concurrent clients (a mix of four distinct requests) must each get
+// a 200 with a body byte-identical to the sequential run's. Under -race
+// this also proves the shared cache/simulation path is data-race-free.
+func TestConcurrentExtrapolateByteIdentical(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxInFlight: 64, Workers: 4})
+
+	payloads := []string{
+		extrapBody("grid", 4, "cm5"),
+		extrapBody("grid", 4, "generic-dm"),
+		extrapBody("cyclic", 8, "cm5"),
+		extrapBody("embar", 2, "shared-mem"),
+	}
+	want := make(map[string]string)
+	for _, p := range payloads {
+		status, body := post(t, ts.URL+"/v1/extrapolate", p)
+		if status != http.StatusOK {
+			t.Fatalf("sequential request %s: status %d: %s", p, status, body)
+		}
+		want[p] = body
+	}
+
+	const clients = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		p := payloads[i%len(payloads)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/extrapolate", "application/json", strings.NewReader(p))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d: %s", resp.StatusCode, body)
+				return
+			}
+			if string(body) != want[p] {
+				errs <- fmt.Errorf("concurrent body differs from sequential:\n%s\nvs\n%s", body, want[p])
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestInFlightLimit: with one slot held and no queueing, the next
+// compute request must be shed with 429 and a typed error body, and
+// succeed again after the slot frees.
+func TestInFlightLimit(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInFlight: 1, QueueWait: 0})
+
+	if !s.lim.acquire(context.Background()) {
+		t.Fatal("could not take the only slot")
+	}
+	status, body := post(t, ts.URL+"/v1/extrapolate", extrapBody("grid", 4, "cm5"))
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 (body %s)", status, body)
+	}
+	if !strings.Contains(body, `"code":"overloaded"`) {
+		t.Errorf("429 body missing typed code: %s", body)
+	}
+	s.lim.release()
+
+	status, body = post(t, ts.URL+"/v1/extrapolate", extrapBody("grid", 4, "cm5"))
+	if status != http.StatusOK {
+		t.Fatalf("after release: status = %d: %s", status, body)
+	}
+}
+
+// TestLimiterQueueing: with queueing enabled, a briefly-held slot delays
+// rather than sheds the next request.
+func TestLimiterQueueing(t *testing.T) {
+	l := newLimiter(1, 2*time.Second)
+	if !l.acquire(context.Background()) {
+		t.Fatal("first acquire failed")
+	}
+	done := make(chan bool)
+	go func() { done <- l.acquire(context.Background()) }()
+	time.Sleep(20 * time.Millisecond)
+	l.release()
+	if !<-done {
+		t.Error("queued acquire did not get the freed slot")
+	}
+	l.release()
+
+	// A dead context sheds a queued waiter.
+	if !l.acquire(context.Background()) {
+		t.Fatal("re-acquire failed")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if l.acquire(ctx) {
+		t.Error("acquire succeeded past its context deadline")
+	}
+	l.release()
+}
+
+// TestDebugVarsExportsCacheHits: repeated identical requests must show
+// non-zero cache_hits at /debug/vars, plus request/status counters.
+func TestDebugVarsExportsCacheHits(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	body := extrapBody("grid", 4, "cm5")
+	for i := 0; i < 3; i++ {
+		if status, b := post(t, ts.URL+"/v1/extrapolate", body); status != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, status, b)
+		}
+	}
+	status, varsBody := get(t, ts.URL+"/debug/vars")
+	if status != http.StatusOK {
+		t.Fatalf("/debug/vars status %d", status)
+	}
+	var vars struct {
+		ExtrapServe struct {
+			Requests    map[string]int64 `json:"requests"`
+			Statuses    map[string]int64 `json:"responses_by_status"`
+			CacheHits   int64            `json:"cache_hits"`
+			CacheMisses int64            `json:"cache_misses"`
+			LatencyUs   int64            `json:"latency_us_total"`
+		} `json:"extrap_serve"`
+		Memstats map[string]any `json:"memstats"`
+	}
+	if err := json.Unmarshal([]byte(varsBody), &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v\n%s", err, varsBody)
+	}
+	es := vars.ExtrapServe
+	if es.CacheHits == 0 {
+		t.Errorf("cache_hits = 0 after repeated identical requests\n%s", varsBody)
+	}
+	if es.CacheMisses != 1 {
+		t.Errorf("cache_misses = %d, want 1", es.CacheMisses)
+	}
+	if es.Requests["/v1/extrapolate"] != 3 {
+		t.Errorf("request counter = %d, want 3", es.Requests["/v1/extrapolate"])
+	}
+	if es.Statuses["2xx"] != 3 {
+		t.Errorf("2xx counter = %d, want 3", es.Statuses["2xx"])
+	}
+	if es.LatencyUs <= 0 {
+		t.Errorf("latency_us_total = %d, want > 0", es.LatencyUs)
+	}
+	if len(vars.Memstats) == 0 {
+		t.Error("expvar globals (memstats) missing from /debug/vars")
+	}
+}
+
+// TestValidationErrors: malformed and out-of-range inputs return typed
+// error envelopes with the right status.
+func TestValidationErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name, body string
+		status     int
+		code       string
+	}{
+		{"malformed json", `{`, http.StatusBadRequest, "invalid_json"},
+		{"unknown field", `{"benchmark":"grid","threads":4,"machine":"cm5","bogus":1}`, http.StatusBadRequest, "invalid_json"},
+		{"missing benchmark", `{"threads":4,"machine":"cm5"}`, http.StatusBadRequest, "missing_benchmark"},
+		{"unknown benchmark", `{"benchmark":"nosuch","threads":4,"machine":"cm5"}`, http.StatusBadRequest, "unknown_benchmark"},
+		{"missing machine", `{"benchmark":"grid","threads":4}`, http.StatusBadRequest, "missing_machine"},
+		{"unknown machine", `{"benchmark":"grid","threads":4,"machine":"nosuch"}`, http.StatusBadRequest, "unknown_machine"},
+		{"zero threads", `{"benchmark":"grid","machine":"cm5"}`, http.StatusBadRequest, "invalid_threads"},
+		{"huge threads", `{"benchmark":"grid","threads":100000,"machine":"cm5"}`, http.StatusBadRequest, "invalid_threads"},
+		{"negative size", `{"benchmark":"grid","size":-1,"threads":4,"machine":"cm5"}`, http.StatusBadRequest, "invalid_size"},
+		{"huge iters", `{"benchmark":"grid","iters":99999999,"threads":4,"machine":"cm5"}`, http.StatusBadRequest, "invalid_iters"},
+		{"non-divisor procs", `{"benchmark":"grid","threads":4,"procs":3,"machine":"cm5"}`, http.StatusBadRequest, "invalid_procs"},
+		{"negative procs", `{"benchmark":"grid","threads":4,"procs":-2,"machine":"cm5"}`, http.StatusBadRequest, "invalid_procs"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body := post(t, ts.URL+"/v1/extrapolate", tc.body)
+			if status != tc.status {
+				t.Errorf("status = %d, want %d (%s)", status, tc.status, body)
+			}
+			if !strings.Contains(body, fmt.Sprintf("%q:%q", "code", tc.code)) {
+				t.Errorf("body missing code %q: %s", tc.code, body)
+			}
+		})
+	}
+
+	// Sweep-specific validation.
+	status, body := post(t, ts.URL+"/v1/sweep", `{"benchmark":"grid","machine":"cm5","procs":[0]}`)
+	if status != http.StatusBadRequest || !strings.Contains(body, "invalid_procs") {
+		t.Errorf("bad ladder: status %d body %s", status, body)
+	}
+	status, body = post(t, ts.URL+"/v1/sweep",
+		`{"benchmark":"grid","machine":"cm5","procs":[1,1,1,1,1,1,1,1,1,1,1,1,1,1,1,1,1]}`)
+	if status != http.StatusBadRequest || !strings.Contains(body, "invalid_procs") {
+		t.Errorf("oversized ladder: status %d body %s", status, body)
+	}
+
+	// Wrong method on a POST route is a 405 from the pattern router.
+	if status, _ := get(t, ts.URL+"/v1/extrapolate"); status != http.StatusMethodNotAllowed {
+		t.Errorf("GET on POST route: status %d, want 405", status)
+	}
+}
+
+// TestRequestTimeout: an unmeetable deadline surfaces as 504 with the
+// "timeout" code rather than hanging or returning 500.
+func TestRequestTimeout(t *testing.T) {
+	_, ts := newTestServer(t, Config{RequestTimeout: time.Nanosecond})
+	status, body := post(t, ts.URL+"/v1/extrapolate", extrapBody("grid", 4, "cm5"))
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (%s)", status, body)
+	}
+	if !strings.Contains(body, `"code":"timeout"`) {
+		t.Errorf("504 body missing timeout code: %s", body)
+	}
+}
+
+// TestSweepEndpoint: a ladder sweep returns one deterministic point per
+// entry with sane speedup/efficiency, byte-identical on repeat.
+func TestSweepEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 3})
+	body := `{"benchmark":"cyclic","size":64,"iters":4,"machine":"cm5","procs":[1,2,4]}`
+	status, first := post(t, ts.URL+"/v1/sweep", body)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, first)
+	}
+	var resp SweepResponse
+	if err := json.Unmarshal([]byte(first), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Points) != 3 {
+		t.Fatalf("points = %d, want 3", len(resp.Points))
+	}
+	for i, want := range []int{1, 2, 4} {
+		p := resp.Points[i]
+		if p.Procs != want || p.PredictedMs <= 0 {
+			t.Errorf("point %d = %+v, want procs %d and positive time", i, p, want)
+		}
+	}
+	if resp.Points[0].Speedup != 1 || resp.Points[0].Efficiency != 1 {
+		t.Errorf("1-proc point not the baseline: %+v", resp.Points[0])
+	}
+	if _, second := post(t, ts.URL+"/v1/sweep", body); second != first {
+		t.Errorf("repeat sweep differs:\n%s\nvs\n%s", second, first)
+	}
+}
+
+// TestRegistryEndpoints: benchmark and machine listings enumerate the
+// registries in sorted order.
+func TestRegistryEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	status, body := get(t, ts.URL+"/v1/benchmarks")
+	if status != http.StatusOK {
+		t.Fatalf("benchmarks status %d", status)
+	}
+	var bs []BenchmarkInfo
+	if err := json.Unmarshal([]byte(body), &bs); err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[string]bool)
+	for _, b := range bs {
+		names[b.Name] = true
+	}
+	for _, want := range []string{"grid", "cyclic", "embar", "matmul"} {
+		if !names[want] {
+			t.Errorf("benchmark list missing %q", want)
+		}
+	}
+
+	status, body = get(t, ts.URL+"/v1/machines")
+	if status != http.StatusOK {
+		t.Fatalf("machines status %d", status)
+	}
+	var ms []MachineInfo
+	if err := json.Unmarshal([]byte(body), &ms); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range ms {
+		if m.Name == "cm5" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("machine list missing cm5")
+	}
+
+	if status, body := get(t, ts.URL+"/v1/healthz"); status != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("healthz: %d %s", status, body)
+	}
+}
+
+// TestPprofGating: pprof routes exist only when enabled.
+func TestPprofGating(t *testing.T) {
+	_, off := newTestServer(t, Config{})
+	if status, _ := get(t, off.URL+"/debug/pprof/"); status != http.StatusNotFound {
+		t.Errorf("pprof served while disabled: %d", status)
+	}
+	_, on := newTestServer(t, Config{EnablePprof: true})
+	if status, _ := get(t, on.URL+"/debug/pprof/"); status != http.StatusOK {
+		t.Errorf("pprof index status %d, want 200", status)
+	}
+}
+
+// TestGracefulShutdown: cancelling the serve context drains and returns
+// nil; the listener stops accepting afterward.
+func TestGracefulShutdown(t *testing.T) {
+	s := New(Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, ln) }()
+
+	url := "http://" + ln.Addr().String()
+	status, _ := get(t, url+"/v1/healthz")
+	if status != http.StatusOK {
+		t.Fatalf("healthz before shutdown: %d", status)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v after graceful shutdown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after context cancellation")
+	}
+	if _, err := http.Get(url + "/v1/healthz"); err == nil {
+		t.Error("server still accepting after shutdown")
+	}
+}

@@ -1,0 +1,43 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"extrap/internal/pcxx"
+	"extrap/internal/vtime"
+)
+
+func TestSimulateContextMatchesSimulate(t *testing.T) {
+	pt := measureAndTranslate(t, 4, func(th *pcxx.Thread) {
+		for i := 0; i < 3; i++ {
+			th.Compute(vtime.Time(th.ID()*13+i*7+5) * vtime.Microsecond)
+			th.Barrier()
+		}
+	})
+	want, err := Simulate(pt, zeroConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SimulateContext(context.Background(), pt, zeroConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalTime != want.TotalTime {
+		t.Errorf("SimulateContext time %v != Simulate time %v", got.TotalTime, want.TotalTime)
+	}
+}
+
+func TestSimulateContextCancelled(t *testing.T) {
+	pt := measureAndTranslate(t, 2, func(th *pcxx.Thread) {
+		th.Compute(10 * vtime.Microsecond)
+		th.Barrier()
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SimulateContext(ctx, pt, zeroConfig())
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error = %v, want context.Canceled", err)
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"extrap/internal/sim/network"
@@ -115,8 +116,26 @@ type engine struct {
 // translation may be simulated under many configurations (and from many
 // goroutines) concurrently.
 func Simulate(pt *translate.ParallelTrace, cfg Config) (*Result, error) {
+	return SimulateContext(context.Background(), pt, cfg)
+}
+
+// ctxCheckMask paces the event loop's cancellation polls: the context is
+// consulted once every (mask+1) events, keeping the check off the
+// per-event hot path while still bounding how long a cancelled
+// simulation keeps running.
+const ctxCheckMask = 1<<13 - 1
+
+// SimulateContext is Simulate with a cancellation point: the event loop
+// polls ctx periodically and abandons the simulation with ctx's error
+// (wrapped, so errors.Is sees context.Canceled / DeadlineExceeded) when
+// the caller's deadline passes. Serving layers use this to bound
+// per-request simulation time.
+func SimulateContext(ctx context.Context, pt *translate.ParallelTrace, cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sim: not started: %w", err)
 	}
 	n := pt.NumThreads
 	if n <= 0 {
@@ -222,6 +241,11 @@ func Simulate(pt *translate.ParallelTrace, cfg Config) (*Result, error) {
 		}
 		if steps++; steps > maxEvents {
 			return nil, fmt.Errorf("sim: event budget exceeded (livelock?)")
+		}
+		if steps&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("sim: aborted after %d events: %w", steps, err)
+			}
 		}
 	}
 	if e.done != n {

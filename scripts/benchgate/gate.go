@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Result is one benchmark's snapshot entry, as emitted by
+// scripts/bench.sh.
+type Result struct {
+	Name        string  `json:"name"`
+	Iters       int64   `json:"iters"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Report is the gate's verdict: Failures trip the build, Notes don't.
+type Report struct {
+	Failures []string
+	Notes    []string
+}
+
+// loadResults reads a bench.sh JSON snapshot.
+func loadResults(path string) ([]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []Result
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s contains no benchmarks", path)
+	}
+	return out, nil
+}
+
+// Compare checks every baseline benchmark against the current snapshot:
+// missing benchmarks and ns/op slowdowns beyond the tolerance band fail,
+// as does any allocs/op above the baseline ceiling. Speedups beyond the
+// band and benchmarks new in current are notes only.
+func Compare(baseline, current []Result, tolerance float64) Report {
+	var rep Report
+	cur := make(map[string]Result, len(current))
+	for _, c := range current {
+		cur[c.Name] = c
+	}
+	seen := make(map[string]bool, len(baseline))
+	for _, b := range baseline {
+		seen[b.Name] = true
+		c, ok := cur[b.Name]
+		if !ok {
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("%s: present in baseline but not measured (bench pattern drift?)", b.Name))
+			continue
+		}
+		if b.NsPerOp > 0 {
+			ratio := c.NsPerOp / b.NsPerOp
+			switch {
+			case ratio > 1+tolerance:
+				rep.Failures = append(rep.Failures,
+					fmt.Sprintf("%s: ns/op %.0f vs baseline %.0f (%.2fx > allowed %.2fx)",
+						b.Name, c.NsPerOp, b.NsPerOp, ratio, 1+tolerance))
+			case ratio < 1-tolerance:
+				rep.Notes = append(rep.Notes,
+					fmt.Sprintf("%s: ns/op %.0f vs baseline %.0f (%.2fx) — consider `make bench-baseline`",
+						b.Name, c.NsPerOp, b.NsPerOp, ratio))
+			}
+		}
+		if c.AllocsPerOp > b.AllocsPerOp {
+			rep.Failures = append(rep.Failures,
+				fmt.Sprintf("%s: allocs/op %.0f exceeds the baseline ceiling %.0f",
+					b.Name, c.AllocsPerOp, b.AllocsPerOp))
+		}
+	}
+	for _, c := range current {
+		if !seen[c.Name] {
+			rep.Notes = append(rep.Notes,
+				fmt.Sprintf("%s: new benchmark, not in baseline — run `make bench-baseline` to track it", c.Name))
+		}
+	}
+	return rep
+}

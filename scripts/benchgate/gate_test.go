@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func res(name string, ns, allocs float64) Result {
+	return Result{Name: name, Iters: 100, NsPerOp: ns, BytesPerOp: 1024, AllocsPerOp: allocs}
+}
+
+func TestCompareWithinBandPasses(t *testing.T) {
+	base := []Result{res("BenchmarkSimulation", 1000, 77)}
+	cur := []Result{res("BenchmarkSimulation", 1200, 77)} // +20% < 25%
+	rep := Compare(base, cur, 0.25)
+	if len(rep.Failures) != 0 {
+		t.Fatalf("failures = %v, want none", rep.Failures)
+	}
+	if len(rep.Notes) != 0 {
+		t.Fatalf("notes = %v, want none", rep.Notes)
+	}
+}
+
+func TestCompareSlowdownFails(t *testing.T) {
+	base := []Result{res("BenchmarkSimulation", 1000, 77)}
+	cur := []Result{res("BenchmarkSimulation", 2000, 77)} // 2x slowdown
+	rep := Compare(base, cur, 0.25)
+	if len(rep.Failures) != 1 || !strings.Contains(rep.Failures[0], "ns/op") {
+		t.Fatalf("failures = %v, want one ns/op failure", rep.Failures)
+	}
+}
+
+func TestCompareSpeedupIsNoteOnly(t *testing.T) {
+	base := []Result{res("BenchmarkSimulation", 1000, 77)}
+	cur := []Result{res("BenchmarkSimulation", 400, 77)} // 2.5x speedup
+	rep := Compare(base, cur, 0.25)
+	if len(rep.Failures) != 0 {
+		t.Fatalf("failures = %v, want none", rep.Failures)
+	}
+	if len(rep.Notes) != 1 || !strings.Contains(rep.Notes[0], "bench-baseline") {
+		t.Fatalf("notes = %v, want one re-baseline hint", rep.Notes)
+	}
+}
+
+func TestCompareAllocCeilingIsHard(t *testing.T) {
+	base := []Result{res("BenchmarkSimulation", 1000, 77)}
+	cur := []Result{res("BenchmarkSimulation", 1000, 78)} // +1 alloc
+	rep := Compare(base, cur, 0.25)
+	if len(rep.Failures) != 1 || !strings.Contains(rep.Failures[0], "allocs/op") {
+		t.Fatalf("failures = %v, want one allocs/op failure", rep.Failures)
+	}
+}
+
+func TestCompareMissingAndNewBenchmarks(t *testing.T) {
+	base := []Result{res("BenchmarkGone", 1000, 10)}
+	cur := []Result{res("BenchmarkNew", 1000, 10)}
+	rep := Compare(base, cur, 0.25)
+	if len(rep.Failures) != 1 || !strings.Contains(rep.Failures[0], "BenchmarkGone") {
+		t.Fatalf("failures = %v, want missing-benchmark failure", rep.Failures)
+	}
+	if len(rep.Notes) != 1 || !strings.Contains(rep.Notes[0], "BenchmarkNew") {
+		t.Fatalf("notes = %v, want new-benchmark note", rep.Notes)
+	}
+}
+
+func TestLoadResults(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	if err := os.WriteFile(good, []byte(`[{"name":"BenchmarkX","iters":5,"ns_per_op":123,"bytes_per_op":10,"allocs_per_op":2}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := loadResults(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Name != "BenchmarkX" || got[0].NsPerOp != 123 {
+		t.Fatalf("got %+v", got)
+	}
+
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`[]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadResults(empty); err == nil {
+		t.Error("empty snapshot accepted")
+	}
+	if _, err := loadResults(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,56 @@
+// Command benchgate is the benchmark regression gate: it compares a
+// fresh scripts/bench.sh snapshot against the committed baseline
+// (BENCH_baseline.json) and exits non-zero when a hot path regressed.
+//
+// Two rules, matching how the two metrics behave:
+//
+//   - ns/op is noisy (shared CI runners), so it gets a relative
+//     tolerance band (default ±25%). Only slowdowns past the band fail;
+//     speedups past it are reported as a hint to re-baseline.
+//   - allocs/op is deterministic for this codebase, so it is a hard
+//     ceiling: any increase over baseline fails.
+//
+// Usage:
+//
+//	go run ./scripts/benchgate -baseline BENCH_baseline.json -current current.json [-tolerance 0.25]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_baseline.json", "committed baseline snapshot")
+	current := flag.String("current", "", "fresh bench.sh output to check")
+	tolerance := flag.Float64("tolerance", 0.25, "relative ns/op tolerance (0.25 = ±25%)")
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+		os.Exit(2)
+	}
+	base, err := loadResults(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	cur, err := loadResults(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	report := Compare(base, cur, *tolerance)
+	for _, line := range report.Notes {
+		fmt.Println("note:", line)
+	}
+	for _, line := range report.Failures {
+		fmt.Println("FAIL:", line)
+	}
+	if len(report.Failures) > 0 {
+		fmt.Printf("benchgate: %d regression(s) against %s\n", len(report.Failures), *baseline)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmark(s) within ±%.0f%% ns/op and at/below the allocs ceiling\n",
+		len(cur), *tolerance*100)
+}
