@@ -1,5 +1,8 @@
 GO ?= go
 BENCH_TOLERANCE ?= 0.25
+# Base ref for the same-machine bench gate. HEAD gates the working tree
+# against the last commit; CI passes the PR base / previous push sha.
+BASE ?= HEAD
 
 .PHONY: all build test race vet lint check bench bench-baseline bench-gate
 
@@ -42,9 +45,10 @@ bench-baseline:
 	./scripts/bench.sh > BENCH_baseline.json
 	@cat BENCH_baseline.json
 
-# Re-run the benchmarks and gate the result against the committed
-# baseline: ns/op may drift ±$(BENCH_TOLERANCE), allocs/op may not grow.
+# Benchmark $(BASE) in a worktree on this machine, then gate the working
+# tree against it: ns/op may drift ±$(BENCH_TOLERANCE), allocs/op may not
+# grow. Without a usable base ref the script falls back to the committed
+# BENCH_baseline.json in allocs-only mode (ns/op from other hardware
+# carries no signal).
 bench-gate:
-	@tmp=$$(mktemp); trap 'rm -f "$$tmp"' EXIT; \
-	./scripts/bench.sh > "$$tmp"; \
-	$(GO) run ./scripts/benchgate -baseline BENCH_baseline.json -current "$$tmp" -tolerance $(BENCH_TOLERANCE)
+	BENCH_TOLERANCE=$(BENCH_TOLERANCE) ./scripts/ci_bench_gate.sh $(BASE)

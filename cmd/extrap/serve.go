@@ -24,6 +24,7 @@ func cmdServe(args []string, out io.Writer) error {
 	queueWait := fs.Duration("queue-wait", 500*time.Millisecond, "how long an excess request may wait for a slot before a 429 (0 rejects immediately)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request pipeline deadline")
 	workers := fs.Int("workers", 0, "worker goroutines per sweep request (0 = all CPUs)")
+	cacheEntries := fs.Int("cache-entries", 256, "measurement memo-cache bound (LRU-evicted past it)")
 	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -37,12 +38,16 @@ func cmdServe(args []string, out io.Writer) error {
 	if *timeout <= 0 {
 		return fmt.Errorf("serve: -timeout must be positive, got %v", *timeout)
 	}
+	if *cacheEntries < 1 {
+		return fmt.Errorf("serve: -cache-entries must be ≥ 1, got %d", *cacheEntries)
+	}
 
 	srv := serve.New(serve.Config{
 		MaxInFlight:    *maxInflight,
 		QueueWait:      *queueWait,
 		RequestTimeout: *timeout,
 		Workers:        *workers,
+		CacheEntries:   *cacheEntries,
 		EnablePprof:    *pprofFlag,
 	})
 	ln, err := net.Listen("tcp", *addr)

@@ -4,6 +4,9 @@ import (
 	"context"
 	"errors"
 	"testing"
+	"time"
+
+	"extrap/internal/pcxx"
 )
 
 // cancelledCtx returns an already-cancelled context.
@@ -56,5 +59,56 @@ func TestParallelSweepContextCancellation(t *testing.T) {
 	}
 	if len(pts) != 2 || pts[0].Procs != 1 || pts[1].Procs != 2 {
 		t.Errorf("sweep points = %+v", pts)
+	}
+}
+
+// flakyCtx is a context whose Err starts returning DeadlineExceeded
+// after a fixed number of polls — a deterministic stand-in for a
+// deadline that fires mid-measurement.
+type flakyCtx struct {
+	pollsLeft int
+	done      chan struct{}
+}
+
+func newFlakyCtx(polls int) *flakyCtx {
+	return &flakyCtx{pollsLeft: polls, done: make(chan struct{})}
+}
+
+func (c *flakyCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *flakyCtx) Done() <-chan struct{}       { return c.done }
+func (c *flakyCtx) Value(any) any               { return nil }
+func (c *flakyCtx) Err() error {
+	if c.pollsLeft--; c.pollsLeft < 0 {
+		return context.DeadlineExceeded
+	}
+	return nil
+}
+
+// TestMeasureContextInterruptsMidRun: a deadline firing after the
+// measurement has started must still abort it — the runtime polls the
+// context at safe points rather than running to completion.
+func TestMeasureContextInterruptsMidRun(t *testing.T) {
+	// Enough compute charges to cross the runtime's poll interval many
+	// times over, so an in-run poll (not the up-front check) fires.
+	heavy := Program{
+		Name:    "heavy",
+		Threads: 2,
+		Setup: func(rt *pcxx.Runtime) func(*pcxx.Thread) {
+			return func(th *pcxx.Thread) {
+				for i := 0; i < 1_000_000; i++ {
+					th.Compute(1)
+				}
+			}
+		},
+	}
+	// The first poll (the up-front check) passes; a later one, reached
+	// from inside the runtime, fails.
+	_, err := MeasureContext(newFlakyCtx(1), heavy, MeasureOptions{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("MeasureContext error = %v, want DeadlineExceeded", err)
+	}
+	// The same program measures fine without a deadline.
+	if _, err := Measure(heavy, MeasureOptions{}); err != nil {
+		t.Fatalf("Measure of heavy program failed: %v", err)
 	}
 }

@@ -47,21 +47,29 @@ type MeasureOptions struct {
 	Seed uint64
 }
 
-// MeasureContext is Measure with an up-front cancellation check. The
-// measurement run itself is not interruptible — it is a deterministic,
-// bounded virtual-clock execution — so the context gates whether the run
-// starts, not how long it takes. Callers that must bound measurement
-// work should bound the problem size instead.
+// MeasureContext is Measure under a caller deadline: the context is
+// checked up front and then polled at safe points inside the measurement
+// runtime (event records and compute charges), so a cancelled context
+// abandons even a long-running measurement promptly with an error
+// satisfying errors.Is against ctx.Err(). Cancellation never perturbs
+// the virtual clock or the trace — a run that completes is byte-identical
+// to one measured without a context.
 func MeasureContext(ctx context.Context, p Program, opts MeasureOptions) (*trace.Trace, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("core: measuring %q: %w", p.Name, err)
 	}
-	return Measure(p, opts)
+	return measure(ctx, p, opts)
 }
 
 // Measure runs the program under the instrumented 1-processor runtime and
 // returns the merged measurement trace (performance information PI₁).
 func Measure(p Program, opts MeasureOptions) (*trace.Trace, error) {
+	return measure(context.Background(), p, opts)
+}
+
+// measure builds the instrumented runtime and executes the program; a
+// cancellable ctx is wired in as the runtime's interrupt poll.
+func measure(ctx context.Context, p Program, opts MeasureOptions) (*trace.Trace, error) {
 	if p.Setup == nil {
 		return nil, fmt.Errorf("core: program %q has no Setup", p.Name)
 	}
@@ -80,6 +88,9 @@ func Measure(p Program, opts MeasureOptions) (*trace.Trace, error) {
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 0x5eed
+	}
+	if ctx.Done() != nil {
+		cfg.Interrupt = ctx.Err
 	}
 	rt := pcxx.NewRuntime(cfg)
 	body := p.Setup(rt)

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"container/list"
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -66,16 +68,24 @@ type CacheKey struct {
 }
 
 // cacheEntry holds one memoized measurement and its lazily computed
-// translation. The sync.Onces give singleflight semantics: concurrent
-// requests for the same key share one measurement run instead of
-// duplicating it.
+// translation, guarded by its own mutex so concurrent requests for the
+// same key share one measurement run (singleflight) while requests for
+// other keys proceed independently.
 type cacheEntry struct {
-	measureOnce   sync.Once
-	tr            *trace.Trace
-	err           error
-	translateOnce sync.Once
-	pt            *translate.ParallelTrace
-	terr          error
+	mu         sync.Mutex
+	measured   bool
+	tr         *trace.Trace
+	err        error
+	translated bool
+	pt         *translate.ParallelTrace
+	terr       error
+}
+
+// lruNode is what the recency list holds: the key (for map removal on
+// eviction) and its entry.
+type lruNode struct {
+	key CacheKey
+	e   *cacheEntry
 }
 
 // TraceCache memoizes measurement traces (and their translations) across
@@ -89,27 +99,79 @@ type cacheEntry struct {
 // copied: callers must not mutate them.
 type TraceCache struct {
 	mu      sync.Mutex
-	entries map[CacheKey]*cacheEntry
+	max     int
+	entries map[CacheKey]*list.Element
+	order   *list.List // front = most recently used; values are *lruNode
 	lookups atomic.Int64
 	misses  atomic.Int64
 }
 
-// NewTraceCache returns an empty cache.
+// NewTraceCache returns an empty unbounded cache — the right shape for a
+// one-shot experiment run, whose key population is fixed by the grid.
 func NewTraceCache() *TraceCache {
-	return &TraceCache{entries: make(map[CacheKey]*cacheEntry)}
+	return NewBoundedTraceCache(0)
 }
 
-// entry returns (creating if needed) the entry for key.
+// NewBoundedTraceCache returns a cache holding at most maxEntries
+// distinct measurements, evicting the least recently used beyond that
+// (maxEntries ≤ 0 means unbounded). Long-lived serving paths must use a
+// bound: cache keys derive from client-controlled request parameters, so
+// an unbounded cache lets a client iterating sizes grow server memory
+// without limit.
+func NewBoundedTraceCache(maxEntries int) *TraceCache {
+	return &TraceCache{
+		max:     maxEntries,
+		entries: make(map[CacheKey]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// entry returns (creating if needed) the entry for key, refreshing its
+// recency and evicting the least recently used entry past the bound.
+// An evicted entry stays valid for callers already holding it; its next
+// lookup simply re-measures.
 func (c *TraceCache) entry(key CacheKey) *cacheEntry {
 	c.lookups.Add(1)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e := c.entries[key]
-	if e == nil {
-		e = &cacheEntry{}
-		c.entries[key] = e
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		return el.Value.(*lruNode).e
+	}
+	e := &cacheEntry{}
+	c.entries[key] = c.order.PushFront(&lruNode{key: key, e: e})
+	if c.max > 0 && c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*lruNode).key)
 	}
 	return e
+}
+
+// Len reports the number of entries currently cached.
+func (c *TraceCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// measure runs or reuses the memoized measurement; the caller holds
+// e.mu. Context cancellations are NOT memoized: an aborted measurement
+// returns its error to that caller only, and the next caller re-runs
+// the measurement under its own deadline — one impatient request never
+// poisons the cache for everyone else. Deterministic failures (bad
+// program, malformed trace) are memoized like successes.
+func (c *TraceCache) measureLocked(e *cacheEntry, measure func() (*trace.Trace, error)) (*trace.Trace, error) {
+	if e.measured {
+		return e.tr, e.err
+	}
+	c.misses.Add(1)
+	tr, err := measure()
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return nil, err
+	}
+	e.tr, e.err, e.measured = tr, err, true
+	return e.tr, e.err
 }
 
 // Measure returns the memoized measurement trace for key, running
@@ -117,27 +179,25 @@ func (c *TraceCache) entry(key CacheKey) *cacheEntry {
 // the single measurement completes and then share its trace.
 func (c *TraceCache) Measure(key CacheKey, measure func() (*trace.Trace, error)) (*trace.Trace, error) {
 	e := c.entry(key)
-	e.measureOnce.Do(func() {
-		c.misses.Add(1)
-		e.tr, e.err = measure()
-	})
-	return e.tr, e.err
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return c.measureLocked(e, measure)
 }
 
 // Translated returns the memoized translation of the measurement for
 // key, measuring and translating on first use.
 func (c *TraceCache) Translated(key CacheKey, measure func() (*trace.Trace, error)) (*translate.ParallelTrace, error) {
 	e := c.entry(key)
-	e.measureOnce.Do(func() {
-		c.misses.Add(1)
-		e.tr, e.err = measure()
-	})
-	if e.err != nil {
-		return nil, e.err
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	tr, err := c.measureLocked(e, measure)
+	if err != nil {
+		return nil, err
 	}
-	e.translateOnce.Do(func() {
-		e.pt, e.terr = translate.Translate(e.tr)
-	})
+	if !e.translated {
+		e.pt, e.terr = translate.Translate(tr)
+		e.translated = true
+	}
 	return e.pt, e.terr
 }
 

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"reflect"
 	"sync"
 	"testing"
@@ -127,5 +129,78 @@ func TestTraceCacheTranslated(t *testing.T) {
 		return nil, boom
 	}); !errors.Is(err, boom) {
 		t.Errorf("got %v, want %v", err, boom)
+	}
+}
+
+// TestBoundedTraceCacheEvictsLRU: past the bound, the least recently
+// used entry is evicted and a later lookup for it re-measures.
+func TestBoundedTraceCacheEvictsLRU(t *testing.T) {
+	c := NewBoundedTraceCache(2)
+	var calls int
+	measureFor := func(threads int) func() (*trace.Trace, error) {
+		return func() (*trace.Trace, error) {
+			calls++
+			return Measure(testProgram(threads), MeasureOptions{})
+		}
+	}
+	keyA := CacheKey{Bench: "test", Threads: 2}
+	keyB := CacheKey{Bench: "test", Threads: 3}
+	keyC := CacheKey{Bench: "test", Threads: 4}
+
+	mustMeasure := func(key CacheKey, threads int) {
+		t.Helper()
+		if _, err := c.Measure(key, measureFor(threads)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustMeasure(keyA, 2) // cache: A
+	mustMeasure(keyB, 3) // cache: B, A
+	mustMeasure(keyA, 2) // hit; cache: A, B
+	if calls != 2 {
+		t.Fatalf("calls = %d before eviction, want 2", calls)
+	}
+	mustMeasure(keyC, 4) // evicts B (LRU); cache: C, A
+	if got := c.Len(); got != 2 {
+		t.Fatalf("Len() = %d, want 2", got)
+	}
+	mustMeasure(keyA, 2) // still cached
+	if calls != 3 {
+		t.Fatalf("calls = %d after A re-lookup, want 3 (A retained)", calls)
+	}
+	mustMeasure(keyB, 3) // evicted, must re-measure
+	if calls != 4 {
+		t.Fatalf("calls = %d after B re-lookup, want 4 (B was evicted)", calls)
+	}
+}
+
+// TestTraceCacheDoesNotMemoizeContextErrors: a measurement aborted by a
+// caller's deadline must not poison the cache — the next caller re-runs
+// it and gets the real trace.
+func TestTraceCacheDoesNotMemoizeContextErrors(t *testing.T) {
+	c := NewTraceCache()
+	key := CacheKey{Bench: "test", Threads: 4}
+	aborted := fmt.Errorf("measuring: %w", context.DeadlineExceeded)
+	if _, err := c.Measure(key, func() (*trace.Trace, error) {
+		return nil, aborted
+	}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("first lookup error = %v, want DeadlineExceeded", err)
+	}
+	tr, err := c.Measure(key, func() (*trace.Trace, error) {
+		return Measure(testProgram(4), MeasureOptions{})
+	})
+	if err != nil || tr == nil {
+		t.Fatalf("second lookup = (%v, %v), want a real trace", tr, err)
+	}
+	// Same contract through Translated with a Canceled abort.
+	key2 := CacheKey{Bench: "test2", Threads: 2}
+	if _, err := c.Translated(key2, func() (*trace.Trace, error) {
+		return nil, context.Canceled
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Translated abort = %v, want Canceled", err)
+	}
+	if _, err := c.Translated(key2, func() (*trace.Trace, error) {
+		return Measure(testProgram(2), MeasureOptions{})
+	}); err != nil {
+		t.Fatalf("Translated retry = %v, want success", err)
 	}
 }

@@ -107,7 +107,8 @@ func (r *runner) runGrid(jobs []SweepJob) ([][]metrics.Point, error) {
 // worker pool and returns one point series per job, in job order. Each
 // cell measures through the memo cache (so cells sharing a measurement
 // wait for one run, then share the trace) and simulates independently
-// under ctx, which bounds the simulation work of every cell.
+// under ctx, which bounds the measurement and simulation work of every
+// cell; ctx-aborted measurements are not memoized.
 func runGrid(ctx context.Context, cache *core.TraceCache, workers int, jobs []SweepJob) ([][]metrics.Point, error) {
 	// Flatten the grid so the pool load-balances across cells of every
 	// job, not one job at a time.
@@ -128,7 +129,7 @@ func runGrid(ctx context.Context, cache *core.TraceCache, workers int, jobs []Sw
 		n := job.Procs[cells[c].pt]
 		mopts := core.MeasureOptions{SizeMode: job.Mode}
 		pt, err := cache.Translated(cacheKey(job.Name, job.Size, n, mopts), func() (*trace.Trace, error) {
-			return core.Measure(job.Factory(n), mopts)
+			return core.MeasureContext(ctx, job.Factory(n), mopts)
 		})
 		if err != nil {
 			return err

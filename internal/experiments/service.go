@@ -27,9 +27,12 @@ type Service struct {
 }
 
 // NewService returns a Service whose sweeps fan out over at most workers
-// goroutines (≤ 0 selects GOMAXPROCS).
-func NewService(workers int) *Service {
-	return &Service{cache: core.NewTraceCache(), workers: workers}
+// goroutines (≤ 0 selects GOMAXPROCS) and whose memo cache retains at
+// most cacheEntries measurements, evicting least-recently-used beyond
+// that (≤ 0 means unbounded — only appropriate for fixed key
+// populations, never for a server fed client-controlled parameters).
+func NewService(workers, cacheEntries int) *Service {
+	return &Service{cache: core.NewBoundedTraceCache(cacheEntries), workers: workers}
 }
 
 // CacheStats reports the memo cache's lookup effectiveness: lookups
@@ -38,9 +41,11 @@ func (s *Service) CacheStats() (hits, misses int64) { return s.cache.Stats() }
 
 // Extrapolate predicts one benchmark configuration on one target
 // environment: measure (or reuse) the threads-thread trace, translate
-// it, and simulate it under cfg. The context bounds the simulation; the
-// measurement itself is deterministic and cached, so it is never
-// poisoned by a caller's deadline.
+// it, and simulate it under cfg. The context bounds every stage,
+// including the measurement (polled at safe points in the runtime). A
+// measurement aborted by the caller's deadline is not memoized — the
+// error goes to that caller alone and the next request re-measures
+// under its own deadline — so a timeout never poisons the cache.
 func (s *Service) Extrapolate(ctx context.Context, b benchmarks.Benchmark, size benchmarks.Size, threads int, mode pcxx.SizeMode, cfg sim.Config) (*core.Outcome, error) {
 	if threads <= 0 {
 		return nil, fmt.Errorf("experiments: invalid thread count %d", threads)
@@ -48,7 +53,7 @@ func (s *Service) Extrapolate(ctx context.Context, b benchmarks.Benchmark, size 
 	mopts := core.MeasureOptions{SizeMode: mode}
 	key := cacheKey(b.Name(), size, threads, mopts)
 	measure := func() (*trace.Trace, error) {
-		return core.Measure(b.Factory(size)(threads), mopts)
+		return core.MeasureContext(ctx, b.Factory(size)(threads), mopts)
 	}
 	tr, err := s.cache.Measure(key, measure)
 	if err != nil {

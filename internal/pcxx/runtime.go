@@ -55,6 +55,14 @@ type Config struct {
 	SizeMode SizeMode
 	// Seed feeds the per-thread deterministic random streams.
 	Seed uint64
+	// Interrupt, when non-nil, is polled periodically during the run (at
+	// event records and compute charges); a non-nil return aborts the
+	// measurement with that error. This is how callers bound the
+	// wall-clock time of an otherwise run-to-completion virtual-clock
+	// execution — context.Context.Err is the intended value. Interrupt
+	// never affects the virtual clock or the trace, so an uninterrupted
+	// run is byte-identical with or without it.
+	Interrupt func() error
 }
 
 // DefaultConfig returns a measurement configuration for n threads on the
@@ -77,6 +85,31 @@ type Runtime struct {
 
 	nextCollectionID int32
 	threadCtxs       []*Thread
+
+	interruptCtr int
+}
+
+// interruptEvery is how many recorded events / compute charges pass
+// between Interrupt polls — frequent enough that a cancelled run stops
+// within microseconds of real work, rare enough to stay off the
+// measurement hot path.
+const interruptEvery = 4096
+
+// checkInterrupt polls cfg.Interrupt every interruptEvery calls and
+// aborts the run by panicking with the returned error; the cooperative
+// scheduler converts the panic into an error from Run and unwinds every
+// thread, so an interrupted measurement leaks nothing.
+func (rt *Runtime) checkInterrupt() {
+	if rt.cfg.Interrupt == nil {
+		return
+	}
+	if rt.interruptCtr++; rt.interruptCtr < interruptEvery {
+		return
+	}
+	rt.interruptCtr = 0
+	if err := rt.cfg.Interrupt(); err != nil {
+		panic(fmt.Errorf("measurement interrupted: %w", err))
+	}
 }
 
 // NewRuntime prepares a runtime; collections are registered against it
@@ -107,6 +140,7 @@ func (rt *Runtime) Now() vtime.Time { return rt.clock.Now() }
 // record appends an event at the current virtual time and charges the
 // instrumentation overhead.
 func (rt *Runtime) record(e trace.Event) {
+	rt.checkInterrupt()
 	e.Time = rt.clock.Now()
 	rt.tr.Append(e)
 	rt.clock.Advance(rt.cfg.EventOverhead)
@@ -175,6 +209,7 @@ func (t *Thread) Compute(d vtime.Time) {
 	if d < 0 {
 		panic("pcxx: negative compute time")
 	}
+	t.rt.checkInterrupt()
 	t.rt.clock.Advance(d)
 }
 

@@ -1,6 +1,7 @@
 package pcxx
 
 import (
+	"errors"
 	"testing"
 
 	"extrap/internal/pcxx/dist"
@@ -548,5 +549,65 @@ func TestComputeNegativePanics(t *testing.T) {
 func TestMFLOPSZeroModel(t *testing.T) {
 	if (CostModel{}).MFLOPS() != 0 {
 		t.Error("zero cost model should rate 0 MFLOPS")
+	}
+}
+
+// TestInterruptAbortsRun: a non-nil Interrupt result must abort the
+// measurement with an error satisfying errors.Is against the cause —
+// the mechanism callers use to bound wall-clock time of a run.
+func TestInterruptAbortsRun(t *testing.T) {
+	sentinel := errors.New("deadline hit")
+	var polls int
+	cfg := DefaultConfig(2)
+	cfg.Interrupt = func() error {
+		polls++
+		if polls >= 3 {
+			return sentinel
+		}
+		return nil
+	}
+	rt := NewRuntime(cfg)
+	_, err := rt.Run(func(th *Thread) {
+		// Far more compute charges than 3×interruptEvery: without the
+		// interrupt this loop completes quickly, with it the run must
+		// stop partway through.
+		for i := 0; i < 4*interruptEvery; i++ {
+			th.Compute(1)
+		}
+	})
+	if err == nil || !errors.Is(err, sentinel) {
+		t.Fatalf("Run() = %v, want errors.Is(err, sentinel)", err)
+	}
+	if polls != 3 {
+		t.Errorf("Interrupt polled %d times, want exactly 3 (abort on first failure)", polls)
+	}
+}
+
+// TestInterruptDoesNotPerturbTrace: a run that completes under an
+// Interrupt that never fires must be byte-identical to one without it.
+func TestInterruptDoesNotPerturbTrace(t *testing.T) {
+	run := func(interrupt func() error) *trace.Trace {
+		cfg := DefaultConfig(3)
+		cfg.Interrupt = interrupt
+		rt := NewRuntime(cfg)
+		tr, err := rt.Run(func(th *Thread) {
+			th.Compute(vtime.Time(100 * (th.ID() + 1)))
+			th.Barrier()
+			th.Compute(50)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	plain := run(nil)
+	polled := run(func() error { return nil })
+	if len(plain.Events) != len(polled.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(plain.Events), len(polled.Events))
+	}
+	for i := range plain.Events {
+		if plain.Events[i] != polled.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, plain.Events[i], polled.Events[i])
+		}
 	}
 }

@@ -9,18 +9,44 @@ import (
 	"extrap/internal/machine"
 )
 
-// Request ceilings: the API bounds per-request work up front because the
-// measurement stage runs to completion once started (only the simulation
-// stage honors the request deadline). The limits are generous — well
-// past the paper's largest configurations — while keeping a single
-// request from monopolizing the server.
+// Request ceilings: the API bounds per-request work up front so a single
+// request cannot monopolize the server, and the pipeline additionally
+// honors the request deadline at safe points in every stage (including
+// the measurement), so even a request that passes validation cannot hold
+// an in-flight slot past RequestTimeout. The per-field limits are
+// generous — well past the paper's largest configurations — but their
+// product is not: maxWorkUnits bounds size × iters × threads combined,
+// because each field at its individual ceiling would admit ~2^40-unit
+// measurements.
 const (
 	maxThreads   = 256
 	maxSize      = 1 << 16
 	maxIters     = 1 << 16
+	maxWorkUnits = 1 << 26
 	maxLadderLen = 16
 	maxBodyBytes = 1 << 20
 )
+
+// workUnits is the validation proxy for one measurement's cost: problem
+// size × iterations (at least one) × measured threads.
+func workUnits(sz benchmarks.Size, threads int) int64 {
+	iters := sz.Iters
+	if iters < 1 {
+		iters = 1
+	}
+	return int64(sz.N) * int64(iters) * int64(threads)
+}
+
+// checkWorkBudget rejects configurations whose combined work product
+// exceeds the per-request budget.
+func checkWorkBudget(sz benchmarks.Size, threads int) *apiError {
+	if w := workUnits(sz, threads); w > maxWorkUnits {
+		return errf(http.StatusBadRequest, "work_budget_exceeded",
+			"size×iters×threads = %d exceeds the per-request budget %d; reduce size, iters, or threads",
+			w, int64(maxWorkUnits))
+	}
+	return nil
+}
 
 // ExtrapolateRequest asks for one prediction: measure benchmark at
 // threads threads, translate, and simulate on machine with procs
@@ -191,6 +217,9 @@ func (req *ExtrapolateRequest) resolve() (benchmarks.Benchmark, benchmarks.Size,
 		return nil, benchmarks.Size{}, machine.Env{}, 0,
 			errf(http.StatusBadRequest, "invalid_threads", "threads must be in [1, %d], got %d", maxThreads, req.Threads)
 	}
+	if apiErr := checkWorkBudget(sz, req.Threads); apiErr != nil {
+		return nil, benchmarks.Size{}, machine.Env{}, 0, apiErr
+	}
 	procs := req.Procs
 	if procs == 0 {
 		procs = req.Threads
@@ -221,11 +250,18 @@ func (req *SweepRequest) resolve() (benchmarks.Benchmark, benchmarks.Size, machi
 		return nil, benchmarks.Size{}, machine.Env{}, nil,
 			errf(http.StatusBadRequest, "invalid_procs", "ladder has %d entries, max %d", len(ladder), maxLadderLen)
 	}
+	totalThreads := 0
 	for _, n := range ladder {
 		if n < 1 || n > maxThreads {
 			return nil, benchmarks.Size{}, machine.Env{}, nil,
 				errf(http.StatusBadRequest, "invalid_procs", "ladder entry %d out of [1, %d]", n, maxThreads)
 		}
+		totalThreads += n
+	}
+	// A sweep measures once per ladder entry, so its budget covers the
+	// whole ladder's thread total.
+	if apiErr := checkWorkBudget(sz, totalThreads); apiErr != nil {
+		return nil, benchmarks.Size{}, machine.Env{}, nil, apiErr
 	}
 	return b, sz, env, ladder, nil
 }

@@ -48,6 +48,10 @@ type Config struct {
 	// Workers bounds the goroutines a sweep fans its ladder across;
 	// ≤ 0 selects GOMAXPROCS.
 	Workers int
+	// CacheEntries bounds the measurement memo cache (LRU-evicted past
+	// the bound) so clients iterating request parameters cannot grow
+	// server memory without limit; ≤ 0 selects the default of 256.
+	CacheEntries int
 	// EnablePprof mounts net/http/pprof handlers under /debug/pprof/.
 	EnablePprof bool
 	// ShutdownGrace bounds how long Serve waits for in-flight requests
@@ -78,13 +82,16 @@ func New(cfg Config) *Server {
 	if cfg.ShutdownGrace <= 0 {
 		cfg.ShutdownGrace = 10 * time.Second
 	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 256
+	}
 	logger := cfg.Logger
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
 	return &Server{
 		cfg: cfg,
-		svc: experiments.NewService(cfg.Workers),
+		svc: experiments.NewService(cfg.Workers, cfg.CacheEntries),
 		lim: newLimiter(cfg.MaxInFlight, cfg.QueueWait),
 		met: newMetricsSet(),
 		log: logger,
@@ -305,12 +312,23 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-// pipelineError maps a pipeline failure to a typed API error: caller
-// deadlines surface as 504, anything else as 422 (the input was
-// well-formed but the configuration cannot be extrapolated).
+// statusClientClosedRequest is nginx's non-standard 499 "client closed
+// request": the client disconnected mid-pipeline, so the abort is theirs,
+// not the server's. Using it keeps aborted requests out of the 5xx
+// bucket of responses_by_status (they count as 4xx), so server error
+// rates reflect server failures only.
+const statusClientClosedRequest = 499
+
+// pipelineError maps a pipeline failure to a typed API error: the
+// server-side deadline surfaces as 504, a client disconnect as 499, and
+// anything else as 422 (the input was well-formed but the configuration
+// cannot be extrapolated).
 func pipelineError(err error) *apiError {
-	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
 		return errf(http.StatusGatewayTimeout, "timeout", "request deadline exceeded: %v", err)
+	case errors.Is(err, context.Canceled):
+		return errf(statusClientClosedRequest, "client_closed_request", "request cancelled by client: %v", err)
 	}
 	return errf(http.StatusUnprocessableEntity, "extrapolation_failed", "%v", err)
 }

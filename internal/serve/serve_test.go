@@ -403,3 +403,115 @@ func TestGracefulShutdown(t *testing.T) {
 		t.Error("server still accepting after shutdown")
 	}
 }
+
+// TestWorkBudgetBoundsCombinedProduct: each field within its individual
+// ceiling must still be rejected when the combined size×iters×threads
+// product is extreme — otherwise one request near every ceiling holds an
+// in-flight slot for hours.
+func TestWorkBudgetBoundsCombinedProduct(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := `{"benchmark":"grid","size":65536,"iters":65536,"threads":256,"machine":"cm5"}`
+	status, resp := post(t, ts.URL+"/v1/extrapolate", body)
+	if status != http.StatusBadRequest || !strings.Contains(resp, "work_budget_exceeded") {
+		t.Errorf("extrapolate: status %d body %s, want 400 work_budget_exceeded", status, resp)
+	}
+	// The sweep budget covers the ladder's thread total.
+	body = `{"benchmark":"grid","size":65536,"iters":4096,"machine":"cm5","procs":[256,256,256,256]}`
+	status, resp = post(t, ts.URL+"/v1/sweep", body)
+	if status != http.StatusBadRequest || !strings.Contains(resp, "work_budget_exceeded") {
+		t.Errorf("sweep: status %d body %s, want 400 work_budget_exceeded", status, resp)
+	}
+	// Paper-scale configurations stay comfortably inside the budget.
+	status, resp = post(t, ts.URL+"/v1/extrapolate", `{"benchmark":"sort","threads":32,"machine":"cm5"}`)
+	if status != http.StatusOK {
+		t.Errorf("paper-scale sort: status %d body %s, want 200", status, resp)
+	}
+}
+
+// TestPipelineErrorStatusMapping: the server's deadline is a 504, a
+// client disconnect is a 499 (so aborted clients don't count as server
+// 5xx), and anything else is a 422.
+func TestPipelineErrorStatusMapping(t *testing.T) {
+	cases := []struct {
+		err    error
+		status int
+		code   string
+	}{
+		{fmt.Errorf("sim: %w", context.DeadlineExceeded), http.StatusGatewayTimeout, "timeout"},
+		{fmt.Errorf("sim: %w", context.Canceled), statusClientClosedRequest, "client_closed_request"},
+		{fmt.Errorf("bad topology"), http.StatusUnprocessableEntity, "extrapolation_failed"},
+	}
+	for _, tc := range cases {
+		e := pipelineError(tc.err)
+		if e.Status != tc.status || e.Code != tc.code {
+			t.Errorf("pipelineError(%v) = %d %q, want %d %q", tc.err, e.Status, e.Code, tc.status, tc.code)
+		}
+	}
+	if got := statusClass(statusClientClosedRequest); got != "4xx" {
+		t.Errorf("statusClass(499) = %q, want 4xx", got)
+	}
+}
+
+// TestTimeoutInterruptsHeavyMeasurement: a measurement that would run
+// for ~10s uninterrupted must be aborted by the request deadline — the
+// context is polled inside the measurement runtime, so a pathological
+// request cannot hold its in-flight slot past RequestTimeout.
+func TestTimeoutInterruptsHeavyMeasurement(t *testing.T) {
+	_, ts := newTestServer(t, Config{RequestTimeout: 100 * time.Millisecond})
+	start := time.Now()
+	// embar's size parameter is an exponent: N=28 means 2^28 samples.
+	status, body := post(t, ts.URL+"/v1/extrapolate",
+		`{"benchmark":"embar","size":28,"threads":2,"machine":"cm5"}`)
+	elapsed := time.Since(start)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (%s)", status, body)
+	}
+	if !strings.Contains(body, `"code":"timeout"`) {
+		t.Errorf("504 body missing timeout code: %s", body)
+	}
+	if elapsed > 2500*time.Millisecond {
+		t.Errorf("request took %v; the measurement was not interrupted by its deadline", elapsed)
+	}
+}
+
+// TestClientDisconnectCountsAs4xx: a client that goes away mid-pipeline
+// must be accounted as 499 (4xx), not 5xx, so error-rate metrics track
+// server failures only.
+func TestClientDisconnectCountsAs4xx(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/extrapolate",
+		strings.NewReader(`{"benchmark":"embar","size":28,"threads":2,"machine":"cm5"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if _, err := http.DefaultClient.Do(req); err == nil {
+		t.Fatal("heavy request finished before the client deadline; raise the problem size")
+	}
+
+	// The server finishes accounting the aborted request asynchronously.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		_, varsBody := get(t, ts.URL+"/debug/vars")
+		var vars struct {
+			ExtrapServe struct {
+				Statuses map[string]int64 `json:"responses_by_status"`
+			} `json:"extrap_serve"`
+		}
+		if err := json.Unmarshal([]byte(varsBody), &vars); err != nil {
+			t.Fatalf("/debug/vars not JSON: %v", err)
+		}
+		if vars.ExtrapServe.Statuses["5xx"] > 0 {
+			t.Fatalf("client disconnect accounted as 5xx: %s", varsBody)
+		}
+		if vars.ExtrapServe.Statuses["4xx"] > 0 {
+			return // 499 landed in the 4xx bucket
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("aborted request never accounted: %s", varsBody)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -95,10 +95,14 @@ func (t *Thread) Unpark() {
 }
 
 // switchToScheduler hands the baton back and blocks until the scheduler
-// resumes this thread.
+// resumes this thread. A resume during scheduler abort unwinds the
+// thread's stack instead of returning to the body.
 func (t *Thread) switchToScheduler() {
 	t.sched.baton <- schedToken{}
 	<-t.resume
+	if t.sched.aborting {
+		panic(abortPanic{})
+	}
 	t.state = StateRunning
 }
 
@@ -111,6 +115,11 @@ func (t *Thread) exit() {
 
 type schedToken struct{}
 
+// abortPanic unwinds a thread's stack when the scheduler aborts a failed
+// run; it is swallowed by the thread's recover rather than reported as a
+// program panic.
+type abortPanic struct{}
+
 // Scheduler runs N cooperative threads to completion.
 type Scheduler struct {
 	threads []*Thread
@@ -120,6 +129,9 @@ type Scheduler struct {
 	baton chan schedToken
 	// panicked carries a panic value out of a thread body.
 	panicked any
+	// aborting makes every resumed thread unwind instead of run; set by
+	// unwind once Run has decided to fail.
+	aborting bool
 }
 
 // New creates a scheduler with n threads executing body(thread). The
@@ -143,13 +155,18 @@ func New(n int, body func(*Thread)) *Scheduler {
 		s.ready = append(s.ready, t)
 		go func(t *Thread) {
 			<-t.resume // wait for first dispatch
-			t.state = StateRunning
 			defer func() {
 				if r := recover(); r != nil {
-					s.panicked = r
+					if _, abort := r.(abortPanic); !abort && s.panicked == nil {
+						s.panicked = r
+					}
 				}
 				t.exit()
 			}()
+			if s.aborting {
+				return // resumed only to be released; never run the body
+			}
+			t.state = StateRunning
 			body(t)
 		}(t)
 	}
@@ -161,7 +178,11 @@ func (s *Scheduler) Threads() []*Thread { return s.threads }
 
 // Run dispatches threads round-robin until all have finished. It returns
 // an error if the program deadlocks (live threads remain but none are
-// runnable) or if any thread body panicked.
+// runnable) or if any thread body panicked. A panic value that is an
+// error is wrapped, so errors.Is sees through to the cause — the path a
+// cancelled measurement takes out of the runtime. On any failure every
+// unfinished thread is unwound before Run returns, so a failed run
+// leaks no goroutines.
 func (s *Scheduler) Run() error {
 	for s.live > 0 {
 		if len(s.ready) == 0 {
@@ -171,6 +192,7 @@ func (s *Scheduler) Run() error {
 					parked = append(parked, t.id)
 				}
 			}
+			s.unwind()
 			return fmt.Errorf("threads: deadlock — %d live threads, none runnable (parked: %v)", s.live, parked)
 		}
 		next := s.ready[0]
@@ -178,8 +200,27 @@ func (s *Scheduler) Run() error {
 		next.resume <- struct{}{}
 		<-s.baton
 		if s.panicked != nil {
+			s.unwind()
+			if err, ok := s.panicked.(error); ok {
+				return fmt.Errorf("threads: thread failed: %w", err)
+			}
 			return fmt.Errorf("threads: thread panicked: %v", s.panicked)
 		}
 	}
 	return nil
+}
+
+// unwind releases every unfinished thread after Run has decided to fail:
+// each one is resumed into an immediate abort panic (or, if it never
+// started, straight to exit), freeing its goroutine and stack. The baton
+// discipline holds throughout — one hand-off per thread.
+func (s *Scheduler) unwind() {
+	s.aborting = true
+	for _, t := range s.threads {
+		if t.state == StateDone {
+			continue
+		}
+		t.resume <- struct{}{}
+		<-s.baton
+	}
 }

@@ -1,8 +1,12 @@
 package threads
 
 import (
+	"errors"
+	"fmt"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestRunToCompletionOrder(t *testing.T) {
@@ -216,6 +220,83 @@ func TestDeterminismAcrossRuns(t *testing.T) {
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("runs diverge at step %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// TestFailedRunLeaksNoGoroutines: deadlocked and panicked runs must
+// unwind every unfinished thread before Run returns — a long-lived
+// server aborts many measurement runs, so each leak would accumulate.
+func TestFailedRunLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		s := New(8, func(th *Thread) {
+			th.Park() // nobody will ever wake us
+		})
+		if err := s.Run(); err == nil {
+			t.Fatal("deadlocked run succeeded")
+		}
+		s = New(8, func(th *Thread) {
+			if th.ID() == 3 {
+				panic("boom")
+			}
+			th.Yield()
+		})
+		if err := s.Run(); err == nil {
+			t.Fatal("panicked run succeeded")
+		}
+	}
+	// Unwound goroutines finish asynchronously after exit(); give the
+	// runtime a moment to reap them.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.Gosched()
+		after := runtime.NumGoroutine()
+		if after <= before+8 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew from %d to %d after 100 failed runs", before, after)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestPanicErrorIsWrapped: a thread body that panics with an error must
+// surface it unwrapped to errors.Is, so cancellation sentinels survive
+// the trip through the scheduler.
+func TestPanicErrorIsWrapped(t *testing.T) {
+	sentinel := errors.New("sentinel failure")
+	s := New(2, func(th *Thread) {
+		if th.ID() == 0 {
+			panic(fmt.Errorf("wrapped: %w", sentinel))
+		}
+	})
+	err := s.Run()
+	if err == nil || !errors.Is(err, sentinel) {
+		t.Fatalf("Run() = %v, want errors.Is(err, sentinel)", err)
+	}
+}
+
+// TestAbortedThreadsNeverRunBodies: threads that were never dispatched
+// before the run failed must not execute their bodies during unwind.
+func TestAbortedThreadsNeverRunBodies(t *testing.T) {
+	var ran [4]bool
+	s := New(4, func(th *Thread) {
+		ran[th.ID()] = true
+		if th.ID() == 0 {
+			panic("early failure")
+		}
+	})
+	if err := s.Run(); err == nil {
+		t.Fatal("panicked run succeeded")
+	}
+	if !ran[0] {
+		t.Fatal("thread 0 never ran")
+	}
+	for id := 1; id < 4; id++ {
+		if ran[id] {
+			t.Errorf("thread %d body ran after the scheduler aborted", id)
 		}
 	}
 }

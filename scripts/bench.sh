@@ -12,6 +12,10 @@ awk '
   # Columns vary (MB/s and custom metrics appear between ns/op and
   # B/op), so locate each value by the unit that follows it.
   /^Benchmark/ {
+    # go test appends a -<GOMAXPROCS> suffix on multi-core machines
+    # (BenchmarkSimulation-4); strip it so snapshots compare across
+    # machines with different core counts.
+    sub(/-[0-9]+$/, "", $1)
     ns = b = a = "null"
     for (i = 3; i <= NF; i++) {
       if ($i == "ns/op") ns = $(i-1)

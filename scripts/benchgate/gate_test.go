@@ -14,7 +14,7 @@ func res(name string, ns, allocs float64) Result {
 func TestCompareWithinBandPasses(t *testing.T) {
 	base := []Result{res("BenchmarkSimulation", 1000, 77)}
 	cur := []Result{res("BenchmarkSimulation", 1200, 77)} // +20% < 25%
-	rep := Compare(base, cur, 0.25)
+	rep := Compare(base, cur, 0.25, true, true)
 	if len(rep.Failures) != 0 {
 		t.Fatalf("failures = %v, want none", rep.Failures)
 	}
@@ -26,7 +26,7 @@ func TestCompareWithinBandPasses(t *testing.T) {
 func TestCompareSlowdownFails(t *testing.T) {
 	base := []Result{res("BenchmarkSimulation", 1000, 77)}
 	cur := []Result{res("BenchmarkSimulation", 2000, 77)} // 2x slowdown
-	rep := Compare(base, cur, 0.25)
+	rep := Compare(base, cur, 0.25, true, true)
 	if len(rep.Failures) != 1 || !strings.Contains(rep.Failures[0], "ns/op") {
 		t.Fatalf("failures = %v, want one ns/op failure", rep.Failures)
 	}
@@ -35,7 +35,7 @@ func TestCompareSlowdownFails(t *testing.T) {
 func TestCompareSpeedupIsNoteOnly(t *testing.T) {
 	base := []Result{res("BenchmarkSimulation", 1000, 77)}
 	cur := []Result{res("BenchmarkSimulation", 400, 77)} // 2.5x speedup
-	rep := Compare(base, cur, 0.25)
+	rep := Compare(base, cur, 0.25, true, true)
 	if len(rep.Failures) != 0 {
 		t.Fatalf("failures = %v, want none", rep.Failures)
 	}
@@ -47,7 +47,7 @@ func TestCompareSpeedupIsNoteOnly(t *testing.T) {
 func TestCompareAllocCeilingIsHard(t *testing.T) {
 	base := []Result{res("BenchmarkSimulation", 1000, 77)}
 	cur := []Result{res("BenchmarkSimulation", 1000, 78)} // +1 alloc
-	rep := Compare(base, cur, 0.25)
+	rep := Compare(base, cur, 0.25, true, true)
 	if len(rep.Failures) != 1 || !strings.Contains(rep.Failures[0], "allocs/op") {
 		t.Fatalf("failures = %v, want one allocs/op failure", rep.Failures)
 	}
@@ -56,7 +56,7 @@ func TestCompareAllocCeilingIsHard(t *testing.T) {
 func TestCompareMissingAndNewBenchmarks(t *testing.T) {
 	base := []Result{res("BenchmarkGone", 1000, 10)}
 	cur := []Result{res("BenchmarkNew", 1000, 10)}
-	rep := Compare(base, cur, 0.25)
+	rep := Compare(base, cur, 0.25, true, true)
 	if len(rep.Failures) != 1 || !strings.Contains(rep.Failures[0], "BenchmarkGone") {
 		t.Fatalf("failures = %v, want missing-benchmark failure", rep.Failures)
 	}
@@ -88,5 +88,67 @@ func TestLoadResults(t *testing.T) {
 	}
 	if _, err := loadResults(filepath.Join(dir, "missing.json")); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+func TestCompareAllocsOnlyDemotesNsFailures(t *testing.T) {
+	base := []Result{res("BenchmarkSimulation", 1000, 77)}
+	cur := []Result{res("BenchmarkSimulation", 2000, 77)} // 2x slowdown
+	rep := Compare(base, cur, 0.25, false, true)
+	if len(rep.Failures) != 0 {
+		t.Fatalf("failures = %v, want none in allocs-only mode", rep.Failures)
+	}
+	if len(rep.Notes) != 1 || !strings.Contains(rep.Notes[0], "informational") {
+		t.Fatalf("notes = %v, want one informational ns/op note", rep.Notes)
+	}
+	// The allocs ceiling still gates.
+	cur = []Result{res("BenchmarkSimulation", 2000, 78)}
+	rep = Compare(base, cur, 0.25, false, true)
+	if len(rep.Failures) != 1 || !strings.Contains(rep.Failures[0], "allocs/op") {
+		t.Fatalf("failures = %v, want one allocs/op failure", rep.Failures)
+	}
+}
+
+func TestCompareNsOnlyDemotesAllocFailures(t *testing.T) {
+	// ns-only is the mode for gating against a same-run base-ref
+	// snapshot: allocs drift vs that snapshot is informational (the
+	// committed baseline is the allocs authority), ns/op still gates.
+	base := []Result{res("BenchmarkSimulation", 1000, 77)}
+	cur := []Result{res("BenchmarkSimulation", 1000, 78)} // +1 alloc
+	rep := Compare(base, cur, 0.25, true, false)
+	if len(rep.Failures) != 0 {
+		t.Fatalf("failures = %v, want none in ns-only mode", rep.Failures)
+	}
+	if len(rep.Notes) != 1 || !strings.Contains(rep.Notes[0], "BENCH_baseline.json") {
+		t.Fatalf("notes = %v, want one informational allocs note", rep.Notes)
+	}
+	// The ns/op band still gates.
+	cur = []Result{res("BenchmarkSimulation", 2000, 78)}
+	rep = Compare(base, cur, 0.25, true, false)
+	if len(rep.Failures) != 1 || !strings.Contains(rep.Failures[0], "ns/op") {
+		t.Fatalf("failures = %v, want one ns/op failure", rep.Failures)
+	}
+}
+
+func TestLoadResultsStripsGOMAXPROCSSuffix(t *testing.T) {
+	// A snapshot captured on a 4-core machine carries "-4" suffixes; it
+	// must compare cleanly against a bare-named baseline.
+	dir := t.TempDir()
+	suffixed := filepath.Join(dir, "multicore.json")
+	if err := os.WriteFile(suffixed, []byte(
+		`[{"name":"BenchmarkSimulation-4","iters":5,"ns_per_op":1000,"bytes_per_op":10,"allocs_per_op":77}]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := loadResults(suffixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur[0].Name != "BenchmarkSimulation" {
+		t.Fatalf("name = %q, want suffix stripped", cur[0].Name)
+	}
+	base := []Result{res("BenchmarkSimulation", 1000, 77)}
+	rep := Compare(base, cur, 0.25, true, true)
+	if len(rep.Failures) != 0 {
+		t.Fatalf("failures = %v, want none — suffixed names must match bare baseline", rep.Failures)
 	}
 }

@@ -4,15 +4,29 @@
 //
 // Two rules, matching how the two metrics behave:
 //
-//   - ns/op is noisy (shared CI runners), so it gets a relative
-//     tolerance band (default ±25%). Only slowdowns past the band fail;
-//     speedups past it are reported as a hint to re-baseline.
+//   - ns/op is noisy (shared CI runners) and machine-specific, so it
+//     gets a relative tolerance band (default ±25%) that is only
+//     meaningful when baseline and current were measured on the same
+//     machine — scripts/ci_bench_gate.sh arranges exactly that by
+//     benchmarking the base ref in the same run. Only slowdowns past the
+//     band fail; speedups past it are reported as a hint to re-baseline.
+//     With -allocs-only the ns/op band demotes to notes, the right mode
+//     when the baseline comes from different hardware.
 //   - allocs/op is deterministic for this codebase, so it is a hard
-//     ceiling: any increase over baseline fails.
+//     ceiling on any hardware: any increase over baseline fails. The
+//     committed BENCH_baseline.json is the authoritative ceiling — a PR
+//     that deliberately adds allocations re-snapshots it with `make
+//     bench-baseline`. With -ns-only the ceiling demotes to notes, the
+//     right mode when the baseline is a same-run base-ref measurement
+//     (which a PR cannot amend, so it must not be the allocs authority).
+//
+// Benchmark names are normalized (the -<GOMAXPROCS> suffix go test
+// appends on multi-core machines is stripped), so snapshots compare
+// across machines with different core counts.
 //
 // Usage:
 //
-//	go run ./scripts/benchgate -baseline BENCH_baseline.json -current current.json [-tolerance 0.25]
+//	go run ./scripts/benchgate -baseline BENCH_baseline.json -current current.json [-tolerance 0.25] [-allocs-only|-ns-only]
 package main
 
 import (
@@ -25,9 +39,15 @@ func main() {
 	baseline := flag.String("baseline", "BENCH_baseline.json", "committed baseline snapshot")
 	current := flag.String("current", "", "fresh bench.sh output to check")
 	tolerance := flag.Float64("tolerance", 0.25, "relative ns/op tolerance (0.25 = ±25%)")
+	allocsOnly := flag.Bool("allocs-only", false, "gate allocs/op only; report ns/op drift as notes (use when the baseline is from different hardware)")
+	nsOnly := flag.Bool("ns-only", false, "gate ns/op only; report allocs/op drift as notes (use when the baseline is a same-run base-ref measurement)")
 	flag.Parse()
 	if *current == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+		os.Exit(2)
+	}
+	if *allocsOnly && *nsOnly {
+		fmt.Fprintln(os.Stderr, "benchgate: -allocs-only and -ns-only are mutually exclusive")
 		os.Exit(2)
 	}
 	base, err := loadResults(*baseline)
@@ -40,7 +60,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(2)
 	}
-	report := Compare(base, cur, *tolerance)
+	report := Compare(base, cur, *tolerance, !*allocsOnly, !*nsOnly)
 	for _, line := range report.Notes {
 		fmt.Println("note:", line)
 	}
@@ -51,6 +71,14 @@ func main() {
 		fmt.Printf("benchgate: %d regression(s) against %s\n", len(report.Failures), *baseline)
 		os.Exit(1)
 	}
-	fmt.Printf("benchgate: %d benchmark(s) within ±%.0f%% ns/op and at/below the allocs ceiling\n",
-		len(cur), *tolerance*100)
+	switch {
+	case *allocsOnly:
+		fmt.Printf("benchgate: %d benchmark(s) at/below the allocs ceiling (ns/op informational)\n", len(cur))
+	case *nsOnly:
+		fmt.Printf("benchgate: %d benchmark(s) within ±%.0f%% ns/op (allocs informational)\n",
+			len(cur), *tolerance*100)
+	default:
+		fmt.Printf("benchgate: %d benchmark(s) within ±%.0f%% ns/op and at/below the allocs ceiling\n",
+			len(cur), *tolerance*100)
+	}
 }

@@ -1,0 +1,56 @@
+#!/bin/sh
+# Benchmark regression gate.
+#
+# Usage: ci_bench_gate.sh [base-ref]
+#
+# The two metrics gate against different baselines because they have
+# different trust models:
+#
+#   - ns/op is machine-specific, so with a usable base ref the script
+#     benchmarks that ref in a temporary worktree and applies the
+#     tolerance band (BENCH_TOLERANCE, default ±25%) against a snapshot
+#     from the same machine in the same run. Comparing against a
+#     committed baseline recorded on other hardware would false-fail or
+#     false-pass on runner speed alone.
+#   - allocs/op is deterministic, so it always gates hard against the
+#     committed BENCH_baseline.json — a ceiling a PR can deliberately
+#     raise with `make bench-baseline`, which the immutable base-ref
+#     measurement could never allow.
+#
+# Without a base ref — or when the ref is missing or predates
+# scripts/bench.sh (first push, forced push, shallow clone) — only the
+# allocs gate runs; ns/op drift against the committed baseline is
+# reported as a note, not a failure.
+set -e
+
+base_ref="$1"
+tolerance="${BENCH_TOLERANCE:-0.25}"
+
+tmpdir=$(mktemp -d)
+cleanup() {
+	git worktree remove --force "$tmpdir/base" 2>/dev/null || true
+	rm -rf "$tmpdir"
+}
+trap cleanup EXIT
+
+echo "bench-gate: benchmarking working tree..."
+./scripts/bench.sh > "$tmpdir/current.json"
+
+if [ -n "$base_ref" ] &&
+	git rev-parse --verify --quiet "$base_ref^{commit}" >/dev/null &&
+	git cat-file -e "$base_ref:scripts/bench.sh" 2>/dev/null; then
+	echo "bench-gate: benchmarking base $(git rev-parse --short "$base_ref") on this machine..."
+	git worktree add --detach "$tmpdir/base" "$base_ref" >/dev/null 2>&1
+	(cd "$tmpdir/base" && ./scripts/bench.sh) > "$tmpdir/baseline.json"
+	echo "bench-gate: ns/op vs same-machine base snapshot"
+	go run ./scripts/benchgate \
+		-baseline "$tmpdir/baseline.json" -current "$tmpdir/current.json" \
+		-tolerance "$tolerance" -ns-only
+else
+	echo "bench-gate: no usable base ref; ns/op gate skipped (committed baseline is from different hardware)"
+fi
+
+echo "bench-gate: allocs/op vs committed BENCH_baseline.json"
+go run ./scripts/benchgate \
+	-baseline BENCH_baseline.json -current "$tmpdir/current.json" \
+	-tolerance "$tolerance" -allocs-only
