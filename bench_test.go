@@ -12,9 +12,13 @@ package extrap
 
 import (
 	"bytes"
+	"context"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"extrap/internal/benchmarks"
 	"extrap/internal/core"
@@ -26,6 +30,7 @@ import (
 	"extrap/internal/timeline"
 	"extrap/internal/trace"
 	"extrap/internal/translate"
+	"extrap/internal/vtime"
 )
 
 // benchExperiment runs one full-scale experiment per iteration and logs
@@ -284,6 +289,172 @@ func BenchmarkTimelineBuild(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- streaming-pipeline memory benchmarks ------------------------------------
+
+// syntheticBigMeasurement builds a merged 1-processor measurement of at
+// least minEvents events: threads iterating batches of remote reads
+// between barriers. The measurement itself is cheap (virtual time), but
+// the trace is large — the shape the streaming pipeline exists for.
+// Communication dominates (many events per barrier) so the trace's
+// length and its barrier count scale independently, keeping per-barrier
+// bookkeeping out of the per-event memory picture.
+func syntheticBigMeasurement(b *testing.B, threads, iters, minEvents int) *Trace {
+	b.Helper()
+	rt := pcxx.NewRuntime(pcxx.DefaultConfig(threads))
+	c := pcxx.PerThread[float64](rt, "x", int64(threads))
+	tr, err := rt.Run(func(th *pcxx.Thread) {
+		for i := 0; i < iters; i++ {
+			for j := 0; j < 16; j++ {
+				th.Compute(vtime.Time(j%4+1) * 10 * vtime.Microsecond)
+				_ = c.Read(th, (th.ID()+j+1)%threads)
+			}
+			th.Barrier()
+		}
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(tr.Events) < minEvents {
+		b.Fatalf("synthetic trace has %d events, want ≥ %d", len(tr.Events), minEvents)
+	}
+	return tr
+}
+
+// sampleHeapPeak runs fn while sampling runtime.ReadMemStats and returns
+// fn's duration-peak of live heap bytes above the pre-fn floor. The
+// floor is taken after a GC so resident setup state (e.g. the encoded
+// source bytes) is excluded — the result is what fn itself keeps live.
+// GC is tightened while fn runs: HeapAlloc counts not-yet-collected
+// garbage too, and at the default GOGC the collector lets the heap
+// double before running, which would drown the live footprint in
+// headroom proportional to the resident baseline.
+func sampleHeapPeak(b *testing.B, fn func()) uint64 {
+	b.Helper()
+	defer debug.SetGCPercent(debug.SetGCPercent(10))
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+	stop := make(chan struct{})
+	peak := make(chan uint64)
+	go func() {
+		var p uint64
+		var ms runtime.MemStats
+		t := time.NewTicker(2 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > p {
+					p = ms.HeapAlloc
+				}
+				peak <- p
+				return
+			case <-t.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > p {
+					p = ms.HeapAlloc
+				}
+			}
+		}
+	}()
+	fn()
+	close(stop)
+	p := <-peak
+	if p <= base.HeapAlloc {
+		return 0
+	}
+	return p - base.HeapAlloc
+}
+
+// bigTraceEncoded materializes the ≥1M-event synthetic measurement once,
+// encodes it, and returns the compact bytes plus the in-memory
+// pipeline's prediction as the equivalence reference. The live trace is
+// dropped before returning so benchmarks start from the bytes alone.
+func bigTraceEncoded(b *testing.B, cfg sim.Config) (enc []byte, nEvents int, want vtime.Time) {
+	b.Helper()
+	tr := syntheticBigMeasurement(b, 16, 4000, 1_000_000)
+	nEvents = len(tr.Events)
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	pt, err := translate.Translate(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := sim.Simulate(pt, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes(), nEvents, res.TotalTime
+}
+
+// BenchmarkStreamPipelineMemory extrapolates a ≥1M-event trace through
+// the bounded-memory streaming pipeline (incremental decode → streaming
+// translate → streaming simulate) and reports the peak live heap the
+// pipeline keeps beyond the encoded source. The peak tracks the
+// translation buffer (one barrier epoch across threads), not the event
+// count — compare live-bytes/event against the in-memory benchmark
+// below, whose peak is the materialized trace (≥ 37 B/event) plus the
+// translation. Every iteration also asserts the prediction equals the
+// in-memory pipeline's.
+func BenchmarkStreamPipelineMemory(b *testing.B) {
+	cfg := machine.GenericDM().Config
+	enc, nEvents, want := bigTraceEncoded(b, cfg)
+	var maxLive uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		live := sampleHeapPeak(b, func() {
+			pred, err := core.ExtrapolateEncoded(context.Background(), enc, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if pred.Result.TotalTime != want {
+				b.Fatalf("streaming prediction %v != in-memory %v", pred.Result.TotalTime, want)
+			}
+		})
+		if live > maxLive {
+			maxLive = live
+		}
+	}
+	b.ReportMetric(float64(nEvents)/1e6, "Mevents")
+	b.ReportMetric(float64(maxLive), "peak-live-B")
+	b.ReportMetric(float64(maxLive)/float64(nEvents), "live-B/event")
+}
+
+// BenchmarkInMemoryPipelineMemory is the materializing counterpart:
+// decode the whole trace, translate, simulate. Its peak live heap grows
+// linearly with the event count — the baseline the streaming pipeline
+// is measured against.
+func BenchmarkInMemoryPipelineMemory(b *testing.B) {
+	cfg := machine.GenericDM().Config
+	enc, nEvents, want := bigTraceEncoded(b, cfg)
+	var maxLive uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		live := sampleHeapPeak(b, func() {
+			tr, err := trace.ReadBinary(bytes.NewReader(enc))
+			if err != nil {
+				b.Fatal(err)
+			}
+			oc, err := core.Extrapolate(tr, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if oc.Result.TotalTime != want {
+				b.Fatalf("prediction %v != reference %v", oc.Result.TotalTime, want)
+			}
+		})
+		if live > maxLive {
+			maxLive = live
+		}
+	}
+	b.ReportMetric(float64(nEvents)/1e6, "Mevents")
+	b.ReportMetric(float64(maxLive), "peak-live-B")
+	b.ReportMetric(float64(maxLive)/float64(nEvents), "live-B/event")
 }
 
 // BenchmarkTraceCodec times the binary codec round trip.

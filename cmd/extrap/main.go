@@ -15,6 +15,8 @@
 package main
 
 import (
+	"bufio"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -273,15 +275,12 @@ func cmdSimulate(args []string, out io.Writer) error {
 	policy := fs.String("policy", "", "override service policy: no-interrupt|interrupt|poll")
 	pollUs := fs.Float64("poll-interval", 500, "poll interval in µs (with -policy poll)")
 	emit := fs.String("emit-trace", "", "write the extrapolated event trace to this file")
+	stream := fs.Bool("stream", false, "bounded-memory pipeline: decode, translate, and simulate the trace as a stream (binary traces only; output is identical)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" {
 		return fmt.Errorf("simulate: -i is required")
-	}
-	tr, err := readTrace(*in)
-	if err != nil {
-		return err
 	}
 	env, err := machine.ByName(*envName)
 	if err != nil {
@@ -312,23 +311,52 @@ func cmdSimulate(args []string, out io.Writer) error {
 	}
 	cfg.EmitTrace = *emit != ""
 
-	oc, err := core.Extrapolate(tr, cfg)
-	if err != nil {
-		return err
+	var res *sim.Result
+	var ideal vtime.Time
+	if *stream {
+		// The streaming pipeline pulls events through bounded cursors, so
+		// even very large traces extrapolate at buffer-sized memory. It
+		// needs the incrementally decodable binary format.
+		if filepath.Ext(*in) == ".txt" {
+			return fmt.Errorf("simulate: -stream requires the binary trace format")
+		}
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		d, err := trace.NewDecoder(bufio.NewReader(f))
+		if err != nil {
+			return err
+		}
+		pred, err := core.ExtrapolateReader(context.Background(), d.Header(), d, cfg)
+		if err != nil {
+			return err
+		}
+		res, ideal = pred.Result, pred.Ideal
+	} else {
+		tr, err := readTrace(*in)
+		if err != nil {
+			return err
+		}
+		oc, err := core.Extrapolate(tr, cfg)
+		if err != nil {
+			return err
+		}
+		res, ideal = oc.Result, oc.Parallel.Duration()
 	}
 	fmt.Fprintf(out, "environment: %s (%s)\n", env.Name, env.Description)
-	fmt.Fprintln(out, oc.Result)
+	fmt.Fprintln(out, res)
 	fmt.Fprintf(out, "ideal parallel time: %v   predicted/ideal: %.2f\n",
-		oc.Parallel.Duration(),
-		float64(oc.Result.TotalTime)/float64(oc.Parallel.Duration()))
-	fmt.Fprintln(out, metrics.ComputeBreakdown(oc.Result))
+		ideal, float64(res.TotalTime)/float64(ideal))
+	fmt.Fprintln(out, metrics.ComputeBreakdown(res))
 	if cfg.EmitTrace {
 		f, err := os.Create(*emit)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		if err := trace.WriteBinary(f, oc.Result.Trace); err != nil {
+		if err := trace.WriteBinary(f, res.Trace); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "extrapolated trace written to %s\n", *emit)

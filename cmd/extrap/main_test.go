@@ -104,6 +104,47 @@ func TestSimulateEmitTrace(t *testing.T) {
 	}
 }
 
+// TestSimulateStreamMatchesInMemory: -stream runs the bounded-memory
+// pipeline, and its report must be byte-identical to the in-memory
+// path's for every output section (result, ideal time, breakdown).
+func TestSimulateStreamMatchesInMemory(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.xtrp")
+	runCmd(t, "run", "-bench", "grid", "-n", "4", "-size", "16", "-iters", "6", "-o", path)
+
+	inMem := runCmd(t, "simulate", "-i", path, "-env", "cm5")
+	streamed := runCmd(t, "simulate", "-i", path, "-env", "cm5", "-stream")
+	if inMem != streamed {
+		t.Errorf("-stream output differs from in-memory:\n--- in-memory ---\n%s\n--- stream ---\n%s", inMem, streamed)
+	}
+
+	// The emitted extrapolated traces must match too.
+	emitMem := filepath.Join(dir, "mem.xtrp")
+	emitStream := filepath.Join(dir, "stream.xtrp")
+	runCmd(t, "simulate", "-i", path, "-env", "generic-dm", "-emit-trace", emitMem)
+	runCmd(t, "simulate", "-i", path, "-env", "generic-dm", "-emit-trace", emitStream, "-stream")
+	memBytes, err := os.ReadFile(emitMem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamBytes, err := os.ReadFile(emitStream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(memBytes, streamBytes) {
+		t.Error("emitted traces differ between -stream and in-memory simulate")
+	}
+
+	// Text traces cannot stream (the codec is line-oriented, not
+	// incremental): -stream must refuse rather than misparse.
+	txt := filepath.Join(dir, "g.txt")
+	runCmd(t, "run", "-bench", "grid", "-n", "2", "-size", "16", "-iters", "2", "-text", "-o", txt)
+	var buf bytes.Buffer
+	if err := dispatch("simulate", []string{"-i", txt, "-env", "cm5", "-stream"}, &buf); err == nil {
+		t.Error("-stream accepted a text trace")
+	}
+}
+
 func TestExperimentQuick(t *testing.T) {
 	dir := t.TempDir()
 	var buf bytes.Buffer

@@ -25,6 +25,7 @@ func cmdServe(args []string, out io.Writer) error {
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request pipeline deadline")
 	workers := fs.Int("workers", 0, "worker goroutines per sweep request (0 = all CPUs)")
 	cacheEntries := fs.Int("cache-entries", 256, "measurement memo-cache bound (LRU-evicted past it)")
+	maxTraceBytes := fs.Int64("max-trace-bytes", 256<<20, "per-measurement encoded-trace budget in bytes; requests past it get 413 (-1 = unlimited)")
 	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -41,6 +42,9 @@ func cmdServe(args []string, out io.Writer) error {
 	if *cacheEntries < 1 {
 		return fmt.Errorf("serve: -cache-entries must be ≥ 1, got %d", *cacheEntries)
 	}
+	if *maxTraceBytes == 0 {
+		return fmt.Errorf("serve: -max-trace-bytes must be positive (or -1 for unlimited), got 0")
+	}
 
 	srv := serve.New(serve.Config{
 		MaxInFlight:    *maxInflight,
@@ -48,6 +52,7 @@ func cmdServe(args []string, out io.Writer) error {
 		RequestTimeout: *timeout,
 		Workers:        *workers,
 		CacheEntries:   *cacheEntries,
+		MaxTraceBytes:  *maxTraceBytes,
 		EnablePprof:    *pprofFlag,
 	})
 	ln, err := net.Listen("tcp", *addr)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"container/list"
 	"context"
 	"errors"
@@ -70,11 +71,14 @@ type CacheKey struct {
 // cacheEntry holds one memoized measurement and its lazily computed
 // translation, guarded by its own mutex so concurrent requests for the
 // same key share one measurement run (singleflight) while requests for
-// other keys proceed independently.
+// other keys proceed independently. In an encoded cache, enc holds the
+// compact binary trace instead of tr: bytes are immutable, so aliasing
+// between concurrent consumers is impossible by construction.
 type cacheEntry struct {
 	mu         sync.Mutex
 	measured   bool
 	tr         *trace.Trace
+	enc        []byte
 	err        error
 	translated bool
 	pt         *translate.ParallelTrace
@@ -100,11 +104,18 @@ type lruNode struct {
 type TraceCache struct {
 	mu      sync.Mutex
 	max     int
+	encoded bool  // cache compact encoded bytes instead of shared traces
+	maxB    int64 // per-trace encoded-size budget (0 = unlimited)
 	entries map[CacheKey]*list.Element
 	order   *list.List // front = most recently used; values are *lruNode
 	lookups atomic.Int64
 	misses  atomic.Int64
 }
+
+// ErrTraceTooLarge reports a measurement whose encoded size exceeds an
+// encoded cache's per-trace budget. Serving layers map it to a
+// payload-too-large response.
+var ErrTraceTooLarge = errors.New("core: measured trace exceeds the trace size budget")
 
 // NewTraceCache returns an empty unbounded cache — the right shape for a
 // one-shot experiment run, whose key population is fixed by the grid.
@@ -125,6 +136,24 @@ func NewBoundedTraceCache(maxEntries int) *TraceCache {
 		order:   list.New(),
 	}
 }
+
+// NewEncodedTraceCache returns a bounded cache that stores measurements
+// as compact XTRP1 bytes rather than live *trace.Trace values. Consumers
+// decode their own streaming cursor from the immutable bytes, so a hit
+// can never be mutated by another cell, and resident size per entry is
+// the 37-byte-per-event encoding instead of the in-memory event slice
+// plus translation. maxTraceBytes (> 0) rejects any measurement whose
+// encoding exceeds the budget with ErrTraceTooLarge.
+func NewEncodedTraceCache(maxEntries int, maxTraceBytes int64) *TraceCache {
+	c := NewBoundedTraceCache(maxEntries)
+	c.encoded = true
+	c.maxB = maxTraceBytes
+	return c
+}
+
+// Streams reports whether the cache stores encoded bytes (the streaming
+// serving mode) rather than shared in-memory traces.
+func (c *TraceCache) Streams() bool { return c.encoded }
 
 // entry returns (creating if needed) the entry for key, refreshing its
 // recency and evicting the least recently used entry past the bound.
@@ -174,22 +203,89 @@ func (c *TraceCache) measureLocked(e *cacheEntry, measure func() (*trace.Trace, 
 	return e.tr, e.err
 }
 
+// encodedLocked runs or reuses the memoized measurement in encoded form;
+// the caller holds e.mu. The measured trace is immediately encoded and
+// released — only the compact immutable bytes stay resident. A trace
+// past the size budget is memoized as an ErrTraceTooLarge failure (the
+// measurement is deterministic, so it would exceed the budget every
+// time).
+func (c *TraceCache) encodedLocked(e *cacheEntry, measure func() (*trace.Trace, error)) ([]byte, error) {
+	if e.measured {
+		return e.enc, e.err
+	}
+	c.misses.Add(1)
+	tr, err := measure()
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return nil, err
+	}
+	if err == nil {
+		if sz := trace.EncodedSize(tr.Header(), len(tr.Events)); c.maxB > 0 && sz > c.maxB {
+			err = fmt.Errorf("%w: %d encoded bytes, budget %d", ErrTraceTooLarge, sz, c.maxB)
+		} else {
+			var buf bytes.Buffer
+			buf.Grow(int(sz))
+			if werr := trace.WriteBinary(&buf, tr); werr != nil {
+				err = werr
+			} else {
+				e.enc = buf.Bytes()
+			}
+		}
+	}
+	e.err, e.measured = err, true
+	return e.enc, e.err
+}
+
+// Encoded returns the memoized measurement for key as immutable XTRP1
+// bytes, running measure on first use. Valid only on an encoded cache.
+func (c *TraceCache) Encoded(key CacheKey, measure func() (*trace.Trace, error)) ([]byte, error) {
+	if !c.encoded {
+		return nil, errors.New("core: Encoded called on a non-encoded TraceCache")
+	}
+	e := c.entry(key)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return c.encodedLocked(e, measure)
+}
+
 // Measure returns the memoized measurement trace for key, running
 // measure on first use. Concurrent callers with the same key block until
-// the single measurement completes and then share its trace.
+// the single measurement completes and then share its trace. On an
+// encoded cache each caller receives its own freshly decoded copy, so
+// mutating it cannot leak into other cells.
 func (c *TraceCache) Measure(key CacheKey, measure func() (*trace.Trace, error)) (*trace.Trace, error) {
 	e := c.entry(key)
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if c.encoded {
+		enc, err := c.encodedLocked(e, measure)
+		if err != nil {
+			return nil, err
+		}
+		return trace.ReadBinary(bytes.NewReader(enc))
+	}
 	return c.measureLocked(e, measure)
 }
 
 // Translated returns the memoized translation of the measurement for
-// key, measuring and translating on first use.
+// key, measuring and translating on first use. On an encoded cache the
+// translation is rebuilt per call from a private decode (nothing shared
+// escapes); streaming consumers should prefer Encoded with
+// ExtrapolateEncoded instead.
 func (c *TraceCache) Translated(key CacheKey, measure func() (*trace.Trace, error)) (*translate.ParallelTrace, error) {
 	e := c.entry(key)
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if c.encoded {
+		enc, err := c.encodedLocked(e, measure)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := trace.ReadBinary(bytes.NewReader(enc))
+		if err != nil {
+			return nil, err
+		}
+		return translate.Translate(tr)
+	}
 	tr, err := c.measureLocked(e, measure)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"extrap/internal/sim"
+	"extrap/internal/trace"
+)
+
+// TestExtrapolateReaderMatchesExtrapolate: the streaming pipeline's
+// prediction must equal the in-memory pipeline's, field for field,
+// including the emitted trace byte for byte.
+func TestExtrapolateReaderMatchesExtrapolate(t *testing.T) {
+	tr, err := Measure(testProgram(4), MeasureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := freeConfig()
+	cfg.EmitTrace = true
+	want, err := Extrapolate(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExtrapolateReader(context.Background(), tr.Header(), tr.Reader(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Measured1P != want.Measurement.Duration() {
+		t.Errorf("Measured1P = %v, want %v", got.Measured1P, want.Measurement.Duration())
+	}
+	if got.Ideal != want.Parallel.Duration() {
+		t.Errorf("Ideal = %v, want %v", got.Ideal, want.Parallel.Duration())
+	}
+	var wantTrace, gotTrace bytes.Buffer
+	if err := trace.WriteBinary(&wantTrace, want.Result.Trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteBinary(&gotTrace, got.Result.Trace); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantTrace.Bytes(), gotTrace.Bytes()) {
+		t.Error("emitted traces differ between streaming and in-memory pipelines")
+	}
+	wantRes, gotRes := *want.Result, *got.Result
+	wantRes.Trace, gotRes.Trace = nil, nil
+	if !reflect.DeepEqual(wantRes, gotRes) {
+		t.Errorf("results differ:\nin-memory: %+v\nstreaming: %+v", wantRes, gotRes)
+	}
+}
+
+// TestExtrapolateEncodedMatches: decode → translate → simulate from the
+// compact bytes gives the same prediction.
+func TestExtrapolateEncodedMatches(t *testing.T) {
+	tr, err := Measure(testProgram(4), MeasureOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var enc bytes.Buffer
+	if err := trace.WriteBinary(&enc, tr); err != nil {
+		t.Fatal(err)
+	}
+	want, err := Extrapolate(tr, freeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ExtrapolateEncoded(context.Background(), enc.Bytes(), freeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Result, want.Result) {
+		t.Errorf("results differ:\nin-memory: %+v\nstreaming: %+v", want.Result, got.Result)
+	}
+	if got.Measured1P != tr.Duration() {
+		t.Errorf("Measured1P = %v, want %v", got.Measured1P, tr.Duration())
+	}
+}
+
+// TestEncodedCachePurity: concurrent sweep cells extrapolating from one
+// cached entry must agree, and the cached bytes must be bit-identical
+// before and after — the aliasing guarantee of the encoded cache. Under
+// -race this also proves the hit path is data-race free.
+func TestEncodedCachePurity(t *testing.T) {
+	c := NewEncodedTraceCache(4, 0)
+	key := CacheKey{Bench: "test", Threads: 4}
+	measure := func() (*trace.Trace, error) { return Measure(testProgram(4), MeasureOptions{}) }
+
+	enc, err := c.Encoded(key, measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]byte(nil), enc...)
+
+	want, err := ExtrapolateEncoded(context.Background(), enc, freeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const cells = 8
+	var wg sync.WaitGroup
+	for g := 0; g < cells; g++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := freeConfig()
+			if i%2 == 1 {
+				cfg.MipsRatio = 0.5
+			}
+			enc, err := c.Encoded(key, measure)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			p, err := ExtrapolateEncoded(context.Background(), enc, cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if i%2 == 0 && p.Result.TotalTime != want.Result.TotalTime {
+				t.Errorf("cell %d: TotalTime %v, want %v", i, p.Result.TotalTime, want.Result.TotalTime)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	after, err := c.Encoded(key, measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("cached encoded trace changed while cells consumed it")
+	}
+	if hits, misses := c.Stats(); misses != 1 {
+		t.Errorf("misses = %d (hits %d), want exactly one measurement", misses, hits)
+	}
+}
+
+// TestSharedCacheHitPurity is the same guarantee for the shared
+// (in-memory) cache: two cells simulating one cached translation must
+// leave the cached measurement bit-identical.
+func TestSharedCacheHitPurity(t *testing.T) {
+	c := NewTraceCache()
+	key := CacheKey{Bench: "test", Threads: 4}
+	measure := func() (*trace.Trace, error) { return Measure(testProgram(4), MeasureOptions{}) }
+
+	tr, err := c.Measure(key, measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before bytes.Buffer
+	if err := trace.WriteBinary(&before, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			pt, err := c.Translated(key, measure)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			cfg := freeConfig()
+			if i%2 == 1 {
+				cfg.MipsRatio = 2
+			}
+			if _, err := sim.Simulate(pt, cfg); err != nil {
+				t.Error(err)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	after, err := c.Measure(key, measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var afterBuf bytes.Buffer
+	if err := trace.WriteBinary(&afterBuf, after); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before.Bytes(), afterBuf.Bytes()) {
+		t.Fatal("cached measurement mutated by concurrent cells")
+	}
+}
+
+// TestEncodedCacheMeasureCopies: decoded copies handed out by an encoded
+// cache are private — mutating one never corrupts later hits.
+func TestEncodedCacheMeasureCopies(t *testing.T) {
+	c := NewEncodedTraceCache(4, 0)
+	key := CacheKey{Bench: "test", Threads: 4}
+	measure := func() (*trace.Trace, error) { return Measure(testProgram(4), MeasureOptions{}) }
+	first, err := c.Measure(key, measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := first.Events[0]
+	first.Events[0].Time += 999 // vandalize the copy
+
+	second, err := c.Measure(key, measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Events[0] != want {
+		t.Fatal("mutating one decoded copy leaked into the cache")
+	}
+}
+
+// TestEncodedCacheTraceTooLarge: a measurement whose encoding exceeds
+// the budget is rejected with ErrTraceTooLarge, and the failure is
+// memoized like any deterministic outcome.
+func TestEncodedCacheTraceTooLarge(t *testing.T) {
+	c := NewEncodedTraceCache(4, 64) // smaller than any real header+events
+	key := CacheKey{Bench: "test", Threads: 4}
+	measure := func() (*trace.Trace, error) { return Measure(testProgram(4), MeasureOptions{}) }
+	for i := 0; i < 2; i++ {
+		if _, err := c.Encoded(key, measure); !errors.Is(err, ErrTraceTooLarge) {
+			t.Fatalf("call %d: err = %v, want ErrTraceTooLarge", i, err)
+		}
+	}
+	if _, misses := c.Stats(); misses != 1 {
+		t.Errorf("misses = %d, want 1 (failure memoized)", misses)
+	}
+}
+
+// TestEncodedOnNonEncodedCache: misuse is an error, not silent decay.
+func TestEncodedOnNonEncodedCache(t *testing.T) {
+	c := NewTraceCache()
+	if _, err := c.Encoded(CacheKey{Bench: "x"}, nil); err == nil {
+		t.Fatal("Encoded on shared cache succeeded")
+	}
+	if c.Streams() {
+		t.Fatal("shared cache claims to stream")
+	}
+	if !NewEncodedTraceCache(1, 0).Streams() {
+		t.Fatal("encoded cache does not claim to stream")
+	}
+}

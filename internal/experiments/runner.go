@@ -11,6 +11,7 @@ import (
 	"extrap/internal/sim"
 	"extrap/internal/trace"
 	"extrap/internal/translate"
+	"extrap/internal/vtime"
 )
 
 // runner executes an experiment's measurement/simulation grid across the
@@ -109,6 +110,14 @@ func (r *runner) runGrid(jobs []SweepJob) ([][]metrics.Point, error) {
 // wait for one run, then share the trace) and simulates independently
 // under ctx, which bounds the measurement and simulation work of every
 // cell; ctx-aborted measurements are not memoized.
+//
+// On an encoded cache (cache.Streams()) each cell instead pulls the
+// compact immutable bytes and runs the bounded-memory streaming
+// pipeline — decode, translate, and simulate flow through cursors, so
+// a cell's transient footprint is the translation buffer, not the
+// trace. The streaming pipeline is byte-identical to the in-memory
+// one, so the grid's output is the same either way, at any worker
+// count.
 func runGrid(ctx context.Context, cache *core.TraceCache, workers int, jobs []SweepJob) ([][]metrics.Point, error) {
 	// Flatten the grid so the pool load-balances across cells of every
 	// job, not one job at a time.
@@ -128,17 +137,33 @@ func runGrid(ctx context.Context, cache *core.TraceCache, workers int, jobs []Sw
 		job := &jobs[cells[c].job]
 		n := job.Procs[cells[c].pt]
 		mopts := core.MeasureOptions{SizeMode: job.Mode}
-		pt, err := cache.Translated(cacheKey(job.Name, job.Size, n, mopts), func() (*trace.Trace, error) {
+		key := cacheKey(job.Name, job.Size, n, mopts)
+		measure := func() (*trace.Trace, error) {
 			return core.MeasureContext(ctx, job.Factory(n), mopts)
-		})
-		if err != nil {
-			return err
 		}
-		res, err := sim.SimulateContext(ctx, pt, job.Cfg)
-		if err != nil {
-			return err
+		var total vtime.Time
+		if cache.Streams() {
+			enc, err := cache.Encoded(key, measure)
+			if err != nil {
+				return err
+			}
+			pred, err := core.ExtrapolateEncoded(ctx, enc, job.Cfg)
+			if err != nil {
+				return err
+			}
+			total = pred.Result.TotalTime
+		} else {
+			pt, err := cache.Translated(key, measure)
+			if err != nil {
+				return err
+			}
+			res, err := sim.SimulateContext(ctx, pt, job.Cfg)
+			if err != nil {
+				return err
+			}
+			total = res.TotalTime
 		}
-		points[cells[c].job][cells[c].pt] = metrics.Point{Procs: n, Time: res.TotalTime}
+		points[cells[c].job][cells[c].pt] = metrics.Point{Procs: n, Time: total}
 		return nil
 	})
 	if err != nil {

@@ -35,6 +35,20 @@ func NewService(workers, cacheEntries int) *Service {
 	return &Service{cache: core.NewBoundedTraceCache(cacheEntries), workers: workers}
 }
 
+// NewStreamingService returns a Service backed by an encoded trace
+// cache: measurements stay resident as compact immutable XTRP1 bytes
+// and every prediction runs the bounded-memory streaming pipeline
+// (incremental decode → streaming translate → streaming simulate).
+// Predictions are byte-identical to the in-memory Service's, but a
+// request's transient footprint is the translation buffer rather than
+// the materialized trace, and maxTraceBytes (> 0) rejects any
+// measurement whose encoding exceeds the budget with
+// core.ErrTraceTooLarge. This is the right shape for long-lived
+// servers fed client-controlled parameters.
+func NewStreamingService(workers, cacheEntries int, maxTraceBytes int64) *Service {
+	return &Service{cache: core.NewEncodedTraceCache(cacheEntries, maxTraceBytes), workers: workers}
+}
+
 // CacheStats reports the memo cache's lookup effectiveness: lookups
 // served from memory and measurement runs performed.
 func (s *Service) CacheStats() (hits, misses int64) { return s.cache.Stats() }
@@ -68,6 +82,36 @@ func (s *Service) Extrapolate(ctx context.Context, b benchmarks.Benchmark, size 
 		return nil, err
 	}
 	return &core.Outcome{Measurement: tr, Parallel: pt, Result: res}, nil
+}
+
+// Predict is Extrapolate returning only the scalar prediction — the
+// shape serving layers need. On a streaming Service the traces flow
+// through bounded cursors and are never materialized; on an in-memory
+// Service it delegates to Extrapolate. Both produce byte-identical
+// predictions for the same request.
+func (s *Service) Predict(ctx context.Context, b benchmarks.Benchmark, size benchmarks.Size, threads int, mode pcxx.SizeMode, cfg sim.Config) (*core.Prediction, error) {
+	if !s.cache.Streams() {
+		out, err := s.Extrapolate(ctx, b, size, threads, mode, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &core.Prediction{
+			Measured1P: out.Measurement.Duration(),
+			Ideal:      out.Parallel.Duration(),
+			Result:     out.Result,
+		}, nil
+	}
+	if threads <= 0 {
+		return nil, fmt.Errorf("experiments: invalid thread count %d", threads)
+	}
+	mopts := core.MeasureOptions{SizeMode: mode}
+	enc, err := s.cache.Encoded(cacheKey(b.Name(), size, threads, mopts), func() (*trace.Trace, error) {
+		return core.MeasureContext(ctx, b.Factory(size)(threads), mopts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return core.ExtrapolateEncoded(ctx, enc, cfg)
 }
 
 // Sweep runs one processor-ladder sweep job through the shared cache and

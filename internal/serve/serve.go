@@ -13,6 +13,10 @@
 // into the pipeline via context, request/latency/cache counters are
 // exported at GET /debug/vars, net/http/pprof can be mounted under
 // /debug/pprof/, and shutdown drains in-flight requests gracefully.
+// Memory is bounded too: measurements are cached as compact encoded
+// bytes, predictions run the streaming pipeline over bounded cursors,
+// and a measurement whose encoding exceeds MaxTraceBytes is rejected
+// with 413 trace_too_large.
 package serve
 
 import (
@@ -28,6 +32,7 @@ import (
 	"time"
 
 	"extrap/internal/benchmarks"
+	"extrap/internal/core"
 	"extrap/internal/experiments"
 	"extrap/internal/machine"
 	"extrap/internal/metrics"
@@ -52,6 +57,15 @@ type Config struct {
 	// the bound) so clients iterating request parameters cannot grow
 	// server memory without limit; ≤ 0 selects the default of 256.
 	CacheEntries int
+	// MaxTraceBytes bounds the encoded size of any single cached
+	// measurement: a request whose measurement encodes past the budget
+	// is rejected with 413 trace_too_large (and the rejection is
+	// memoized — the measurement is deterministic, so it would exceed
+	// the budget every time). Cached measurements are held as compact
+	// XTRP1 bytes and predictions stream through bounded cursors, so
+	// this budget, times CacheEntries, bounds cache memory. 0 selects
+	// the default of 256 MiB; < 0 disables the budget.
+	MaxTraceBytes int64
 	// EnablePprof mounts net/http/pprof handlers under /debug/pprof/.
 	EnablePprof bool
 	// ShutdownGrace bounds how long Serve waits for in-flight requests
@@ -85,13 +99,16 @@ func New(cfg Config) *Server {
 	if cfg.CacheEntries <= 0 {
 		cfg.CacheEntries = 256
 	}
+	if cfg.MaxTraceBytes == 0 {
+		cfg.MaxTraceBytes = 256 << 20
+	}
 	logger := cfg.Logger
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
 	return &Server{
 		cfg: cfg,
-		svc: experiments.NewService(cfg.Workers, cfg.CacheEntries),
+		svc: experiments.NewStreamingService(cfg.Workers, cfg.CacheEntries, cfg.MaxTraceBytes),
 		lim: newLimiter(cfg.MaxInFlight, cfg.QueueWait),
 		met: newMetricsSet(),
 		log: logger,
@@ -203,7 +220,7 @@ func (s *Server) handleExtrapolate(w http.ResponseWriter, r *http.Request) {
 	}
 	cfg := env.Config
 	cfg.Procs = procs
-	out, err := s.svc.Extrapolate(r.Context(), b, sz, req.Threads, pcxx.ActualSize, cfg)
+	pred, err := s.svc.Predict(r.Context(), b, sz, req.Threads, pcxx.ActualSize, cfg)
 	if err != nil {
 		writeError(w, pipelineError(err))
 		return
@@ -215,16 +232,16 @@ func (s *Server) handleExtrapolate(w http.ResponseWriter, r *http.Request) {
 		Iters:        sz.Iters,
 		Threads:      req.Threads,
 		Procs:        procs,
-		Measured1PMs: out.Measurement.Duration().Millis(),
-		IdealMs:      out.Parallel.Duration().Millis(),
-		PredictedMs:  out.Result.TotalTime.Millis(),
-		Barriers:     out.Result.Barriers,
-		Messages:     out.Result.Net.Messages,
+		Measured1PMs: pred.Measured1P.Millis(),
+		IdealMs:      pred.Ideal.Millis(),
+		PredictedMs:  pred.Result.TotalTime.Millis(),
+		Barriers:     pred.Result.Barriers,
+		Messages:     pred.Result.Net.Messages,
 	}
-	if out.Result.TotalTime > 0 {
-		resp.Speedup = float64(out.Measurement.Duration()) / float64(out.Result.TotalTime)
+	if pred.Result.TotalTime > 0 {
+		resp.Speedup = float64(pred.Measured1P) / float64(pred.Result.TotalTime)
 	}
-	bd := metrics.ComputeBreakdown(out.Result)
+	bd := metrics.ComputeBreakdown(pred.Result)
 	resp.Breakdown = BreakdownJSON{
 		Compute:     bd.Compute,
 		CommWait:    bd.CommWait,
@@ -320,15 +337,18 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 const statusClientClosedRequest = 499
 
 // pipelineError maps a pipeline failure to a typed API error: the
-// server-side deadline surfaces as 504, a client disconnect as 499, and
-// anything else as 422 (the input was well-formed but the configuration
-// cannot be extrapolated).
+// server-side deadline surfaces as 504, a client disconnect as 499, a
+// measurement past the trace size budget as 413, and anything else as
+// 422 (the input was well-formed but the configuration cannot be
+// extrapolated).
 func pipelineError(err error) *apiError {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		return errf(http.StatusGatewayTimeout, "timeout", "request deadline exceeded: %v", err)
 	case errors.Is(err, context.Canceled):
 		return errf(statusClientClosedRequest, "client_closed_request", "request cancelled by client: %v", err)
+	case errors.Is(err, core.ErrTraceTooLarge):
+		return errf(http.StatusRequestEntityTooLarge, "trace_too_large", "%v", err)
 	}
 	return errf(http.StatusUnprocessableEntity, "extrapolation_failed", "%v", err)
 }

@@ -281,7 +281,7 @@ func (e *engine) resumeFromBarrier(t *thr) {
 	if t.state != tsWaitBarrier {
 		panic(fmt.Sprintf("sim: barrier resume for thread %d in state %d", t.id, t.state))
 	}
-	ev := t.evs[t.pos]
+	ev := t.peek()
 	if ev.Kind != trace.KindBarrierExit {
 		panic(fmt.Sprintf("sim: thread %d resumed from barrier onto %v event", t.id, ev.Kind))
 	}

@@ -3,6 +3,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"extrap/internal/sim/network"
 	"extrap/internal/trace"
@@ -61,11 +62,17 @@ const (
 )
 
 // thr is the per-thread simulation state: a cursor over the translated
-// trace plus execution bookkeeping.
+// trace plus execution bookkeeping. The cursor has two modes sharing one
+// peek/advance API: a slice fast path over a materialized ParallelTrace
+// (evs/pos), and a streaming path (src/cur/curOK) that pulls events on
+// demand so the full trace never needs to be resident.
 type thr struct {
 	id, proc int
 	evs      []trace.Event
 	pos      int
+	src      trace.Reader // non-nil in streaming mode
+	cur      trace.Event  // current event (streaming mode)
+	curOK    bool
 	prevT    vtime.Time // translated-trace time of the last consumed event
 	state    tstate
 	gen      uint64     // invalidates superseded compute-done/poll events
@@ -74,6 +81,41 @@ type thr struct {
 	blockAt  vtime.Time // when the thread last blocked (stats)
 	readyAt  vtime.Time // when the thread became runnable (CPU wait stats)
 	stats    ThreadStats
+}
+
+// hasCur reports whether the thread's cursor is positioned on an event.
+func (t *thr) hasCur() bool {
+	if t.src == nil {
+		return t.pos < len(t.evs)
+	}
+	return t.curOK
+}
+
+// peek returns the current event; valid only when hasCur.
+func (t *thr) peek() trace.Event {
+	if t.src == nil {
+		return t.evs[t.pos]
+	}
+	return t.cur
+}
+
+// advance moves t's cursor past the current event. In streaming mode a
+// mid-stream source error is recorded on the engine (the event loop
+// aborts with it) and the cursor reads as exhausted.
+func (e *engine) advance(t *thr) {
+	if t.src == nil {
+		t.pos++
+		return
+	}
+	ev, err := t.src.Next()
+	if err != nil {
+		t.curOK = false
+		if err != io.EOF && e.fail == nil {
+			e.fail = err
+		}
+		return
+	}
+	t.cur, t.curOK = ev, true
 }
 
 // prc is a simulated processor: the threads mapped to it, its run state,
@@ -107,6 +149,7 @@ type engine struct {
 	out     *trace.Trace
 	now     vtime.Time
 	done    int
+	fail    error // sticky mid-stream source error (streaming mode)
 }
 
 // Simulate replays the translated parallel trace against the target
@@ -131,13 +174,45 @@ const ctxCheckMask = 1<<13 - 1
 // the caller's deadline passes. Serving layers use this to bound
 // per-request simulation time.
 func SimulateContext(ctx context.Context, pt *translate.ParallelTrace, cfg Config) (*Result, error) {
+	return simulate(ctx, cfg, pt.NumThreads, pt.Phases, pt.Barriers, pt.Events(),
+		func(t *thr, i int) { t.evs = pt.Threads[i] })
+}
+
+// Source provides translated per-thread event cursors to a streaming
+// simulation — the interface translate.Stream satisfies. Thread(i) must
+// yield thread i's translated events in order; cursors are consumed
+// interleaved, single-threaded.
+type Source interface {
+	NumThreads() int
+	Phases() []string
+	Thread(i int) trace.Reader
+}
+
+// SimulateStream runs the simulation over streaming per-thread cursors
+// instead of a materialized ParallelTrace, so peak memory is bounded by
+// the source's buffering rather than the trace size. Results are
+// byte-identical to Simulate on the equivalent materialized trace.
+func SimulateStream(src Source, cfg Config) (*Result, error) {
+	return SimulateStreamContext(context.Background(), src, cfg)
+}
+
+// SimulateStreamContext is SimulateStream with a cancellation point.
+func SimulateStreamContext(ctx context.Context, src Source, cfg Config) (*Result, error) {
+	return simulate(ctx, cfg, src.NumThreads(), src.Phases(), 0, 0,
+		func(t *thr, i int) { t.src = src.Thread(i) })
+}
+
+// simulate is the engine core shared by the slice and streaming entry
+// points: bind attaches thread i's event cursor (either mode) to its
+// state record. barriersHint/eventsHint pre-size internal tables and may
+// be zero when unknown (streaming).
+func simulate(ctx context.Context, cfg Config, n int, phases []string, barriersHint, eventsHint int, bind func(t *thr, i int)) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("sim: not started: %w", err)
 	}
-	n := pt.NumThreads
 	if n <= 0 {
 		return nil, fmt.Errorf("sim: empty parallel trace")
 	}
@@ -156,7 +231,7 @@ func SimulateContext(ctx context.Context, pt *translate.ParallelTrace, cfg Confi
 		cfg:    cfg,
 		n:      n,
 		nprocs: nprocs,
-		bars:   make([]barSt, 0, pt.Barriers),
+		bars:   make([]barSt, 0, barriersHint),
 	}
 	e.fel.q = make([]event, 0, 4*n)
 	var err error
@@ -170,10 +245,11 @@ func SimulateContext(ctx context.Context, pt *translate.ParallelTrace, cfg Confi
 	}
 	if cfg.EmitTrace {
 		e.out = trace.New(n)
-		e.out.Phases = append([]string(nil), pt.Phases...)
+		e.out.Phases = append([]string(nil), phases...)
 		// Emitted events ≈ input events plus a send and a receive per
-		// message; 2× avoids most regrowth without overcommitting.
-		e.out.Events = make([]trace.Event, 0, 2*pt.Events())
+		// message; 2× avoids most regrowth without overcommitting. A
+		// streaming source has no count to size from (hint 0).
+		e.out.Events = make([]trace.Event, 0, 2*eventsHint)
 	}
 
 	perProc := n / nprocs
@@ -187,9 +263,22 @@ func SimulateContext(ctx context.Context, pt *translate.ParallelTrace, cfg Confi
 	for i := 0; i < n; i++ {
 		p := placeThread(cfg.Placement, i, n, nprocs, perProc)
 		t := &e.threads[i]
-		t.id, t.proc, t.evs, t.state = i, p, pt.Threads[i], tsWaitCPU
-		if len(t.evs) > 0 {
-			t.prevT = t.evs[0].Time
+		t.id, t.proc, t.state = i, p, tsWaitCPU
+		bind(t, i)
+		if t.src != nil {
+			// Prime the streaming cursor onto its first event. A source
+			// error here (e.g. inline trace validation) aborts up front.
+			ev, err := t.src.Next()
+			switch {
+			case err == io.EOF:
+			case err != nil:
+				return nil, err
+			default:
+				t.cur, t.curOK = ev, true
+			}
+		}
+		if t.hasCur() {
+			t.prevT = t.peek().Time
 		}
 		e.procs[p].threads = append(e.procs[p].threads, i)
 	}
@@ -201,7 +290,7 @@ func SimulateContext(ctx context.Context, pt *translate.ParallelTrace, cfg Confi
 	// segment leading to its first event.
 	for i := range e.threads {
 		t := &e.threads[i]
-		if len(t.evs) == 0 {
+		if !t.hasCur() {
 			t.state = tsDone
 			e.done++
 			continue
@@ -238,6 +327,9 @@ func SimulateContext(ctx context.Context, pt *translate.ParallelTrace, cfg Confi
 				continue
 			}
 			e.resumeFromBarrier(t)
+		}
+		if e.fail != nil {
+			return nil, fmt.Errorf("sim: trace source failed: %w", e.fail)
 		}
 		if steps++; steps > maxEvents {
 			return nil, fmt.Errorf("sim: event budget exceeded (livelock?)")
@@ -348,7 +440,7 @@ func (e *engine) grantCPU(p *prc, t *thr, at vtime.Time) {
 	t.stats.CPUWait += start - t.readyAt
 	p.current = t.id
 	p.last = t.id
-	pure := e.scale(t.evs[t.pos].Time - t.prevT)
+	pure := e.scale(t.peek().Time - t.prevT)
 	t.stats.Compute += pure
 	t.pureLeft = pure
 	e.runSegment(t, start)
@@ -414,7 +506,7 @@ func (e *engine) drainQueue(p *prc, from vtime.Time) vtime.Time {
 // e.now). It consumes the event and either schedules the next segment or
 // transitions the thread into a waiting state.
 func (e *engine) handleEvent(t *thr) {
-	ev := t.evs[t.pos]
+	ev := t.peek()
 	switch ev.Kind {
 	case trace.KindThreadStart, trace.KindPhaseBegin, trace.KindPhaseEnd:
 		if ev.Kind != trace.KindThreadStart {
@@ -463,12 +555,12 @@ func (e *engine) handleEvent(t *thr) {
 // consume advances t past ev.
 func (e *engine) consume(t *thr, ev trace.Event) {
 	t.prevT = ev.Time
-	t.pos++
+	e.advance(t)
 }
 
 // continueThread moves t toward its next event starting at time at.
 func (e *engine) continueThread(t *thr, at vtime.Time) {
-	if t.pos >= len(t.evs) {
+	if !t.hasCur() {
 		// Trace ended without a thread-end event; treat as done.
 		t.state = tsDone
 		t.stats.Finish = at
@@ -483,7 +575,7 @@ func (e *engine) continueThread(t *thr, at vtime.Time) {
 	p := &e.procs[t.proc]
 	if p.current == t.id {
 		// Still on CPU: run the next segment directly.
-		pure := e.scale(t.evs[t.pos].Time - t.prevT)
+		pure := e.scale(t.peek().Time - t.prevT)
 		t.stats.Compute += pure
 		t.pureLeft = pure
 		e.runSegment(t, at)
@@ -681,7 +773,7 @@ func (e *engine) replyArrive(m *message) {
 		resume = p.svcBusyUntil
 	}
 	e.emit(e.now, trace.KindMsgRecv, t.id, int64(m.src), m.bytes, int64(mReply))
-	ev := t.evs[t.pos]
+	ev := t.peek()
 	e.emit(resume, trace.KindRemoteRead, t.id, ev.Arg0, ev.Arg1, ev.Arg2)
 	t.stats.CommWait += resume - t.blockAt
 	e.consume(t, ev)

@@ -65,55 +65,45 @@ var (
 	ErrBadMagic = errors.New("trace: bad magic (not an XTRP1 trace)")
 )
 
-// WriteBinary encodes the trace to w in the binary format.
-func WriteBinary(w io.Writer, t *Trace) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(binaryMagic[:]); err != nil {
-		return err
-	}
-	var scratch [29]byte
-	binary.LittleEndian.PutUint32(scratch[:4], uint32(t.NumThreads))
-	binary.LittleEndian.PutUint64(scratch[4:12], uint64(t.EventOverhead))
-	binary.LittleEndian.PutUint32(scratch[12:16], uint32(len(t.Phases)))
-	if _, err := bw.Write(scratch[:16]); err != nil {
-		return err
-	}
-	for _, p := range t.Phases {
-		if len(p) > 0xffff {
-			return fmt.Errorf("trace: phase name too long (%d bytes)", len(p))
-		}
-		binary.LittleEndian.PutUint16(scratch[:2], uint16(len(p)))
-		if _, err := bw.Write(scratch[:2]); err != nil {
-			return err
-		}
-		if _, err := bw.WriteString(p); err != nil {
-			return err
-		}
-	}
-	binary.LittleEndian.PutUint64(scratch[:8], uint64(len(t.Events)))
-	if _, err := bw.Write(scratch[:8]); err != nil {
-		return err
-	}
-	buf := make([]byte, codecChunk*eventRecSize)
-	for start := 0; start < len(t.Events); start += codecChunk {
-		end := start + codecChunk
-		if end > len(t.Events) {
-			end = len(t.Events)
-		}
-		n := 0
-		for i := start; i < end; i++ {
-			putEvent(buf[n:n+eventRecSize], &t.Events[i])
-			n += eventRecSize
-		}
-		if _, err := bw.Write(buf[:n]); err != nil {
-			return err
-		}
-	}
-	return bw.Flush()
+// Hardening limits for the XTRP1 format. Every header field is
+// attacker-controlled until proven otherwise, so nothing may allocate
+// proportionally to a header count before the corresponding bytes have
+// actually been read.
+const (
+	// MaxThreads bounds the declared thread count. Thread ids are dense
+	// per-thread state everywhere downstream (translation, simulation),
+	// so an absurd count is rejected at decode time.
+	MaxThreads = 1 << 20
+	// MaxPhases bounds the phase-name table's entry count.
+	MaxPhases = 1 << 16
+	// MaxPhaseBytes bounds the cumulative size of all phase names.
+	MaxPhaseBytes = 1 << 22
+	// MaxEvents is a sanity bound on the declared event count; the
+	// decoder never allocates from the declared count, it only rejects
+	// claims past this.
+	MaxEvents = 1 << 40
+)
+
+// Decoder streams an XTRP1 trace from r: NewDecoder reads and validates
+// the header; Next yields one event at a time from an internal
+// fixed-size chunk buffer. Peak decoder memory is O(codecChunk + phase
+// table), independent of the declared (untrusted) event count, and every
+// record is validated as it is produced: the kind must be defined and
+// the thread id must lie in [0, NumThreads).
+type Decoder struct {
+	br      *bufio.Reader
+	hdr     Header
+	declare uint64 // declared event count (untrusted until EOF confirms it)
+	read    uint64
+	buf     []byte
+	bufPos  int
+	bufLen  int
+	err     error
 }
 
-// ReadBinary decodes a trace from r.
-func ReadBinary(r io.Reader) (*Trace, error) {
+// NewDecoder reads and validates the trace header from r. The event
+// records are consumed by Next.
+func NewDecoder(r io.Reader) (*Decoder, error) {
 	br := bufio.NewReader(r)
 	var magic [5]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
@@ -126,58 +116,332 @@ func ReadBinary(r io.Reader) (*Trace, error) {
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, err
 	}
-	t := &Trace{
-		NumThreads:    int(binary.LittleEndian.Uint32(hdr[:4])),
-		EventOverhead: intToTime(binary.LittleEndian.Uint64(hdr[4:12])),
+	d := &Decoder{br: br}
+	nthreads := binary.LittleEndian.Uint32(hdr[:4])
+	if nthreads > MaxThreads {
+		return nil, fmt.Errorf("trace: implausible thread count %d (max %d)", nthreads, MaxThreads)
 	}
+	d.hdr.NumThreads = int(nthreads)
+	d.hdr.EventOverhead = intToTime(binary.LittleEndian.Uint64(hdr[4:12]))
 	nphase := binary.LittleEndian.Uint32(hdr[12:16])
-	if nphase > 1<<20 {
-		return nil, fmt.Errorf("trace: implausible phase count %d", nphase)
+	if nphase > MaxPhases {
+		return nil, fmt.Errorf("trace: implausible phase count %d (max %d)", nphase, MaxPhases)
 	}
+	phaseBytes := 0
 	for i := uint32(0); i < nphase; i++ {
 		var ln [2]byte
 		if _, err := io.ReadFull(br, ln[:]); err != nil {
 			return nil, err
 		}
-		buf := make([]byte, binary.LittleEndian.Uint16(ln[:]))
+		n := int(binary.LittleEndian.Uint16(ln[:]))
+		if phaseBytes += n; phaseBytes > MaxPhaseBytes {
+			return nil, fmt.Errorf("trace: phase table exceeds %d bytes", MaxPhaseBytes)
+		}
+		buf := make([]byte, n)
 		if _, err := io.ReadFull(br, buf); err != nil {
 			return nil, err
 		}
-		t.Phases = append(t.Phases, string(buf))
+		// Grown incrementally: each name's bytes were just read, so the
+		// table can never outgrow the input actually supplied.
+		d.hdr.Phases = append(d.hdr.Phases, string(buf))
 	}
 	var cnt [8]byte
 	if _, err := io.ReadFull(br, cnt[:]); err != nil {
 		return nil, err
 	}
-	n := binary.LittleEndian.Uint64(cnt[:])
-	if n > 1<<32 {
-		return nil, fmt.Errorf("trace: implausible event count %d", n)
+	d.declare = binary.LittleEndian.Uint64(cnt[:])
+	if d.declare > MaxEvents {
+		return nil, fmt.Errorf("trace: implausible event count %d", d.declare)
 	}
-	// Preallocate from the header count (bounded, so a corrupt header
-	// cannot force a huge allocation before any record is read).
-	prealloc := n
-	if prealloc > 1<<22 {
-		prealloc = 1 << 22
+	return d, nil
+}
+
+// Header returns the decoded trace metadata.
+func (d *Decoder) Header() Header { return d.hdr }
+
+// Declared returns the event count the header claims. It is untrusted:
+// the stream may end early (Next returns an unexpected-EOF error) and a
+// hostile header cannot make the decoder allocate ahead of the data.
+func (d *Decoder) Declared() uint64 { return d.declare }
+
+// fill reads the next chunk of event records into the staging buffer.
+func (d *Decoder) fill() error {
+	batch := d.declare - d.read
+	if batch == 0 {
+		return io.EOF
 	}
-	t.Events = make([]Event, 0, prealloc)
-	buf := make([]byte, codecChunk*eventRecSize)
-	for read := uint64(0); read < n; {
-		batch := n - read
-		if batch > codecChunk {
-			batch = codecChunk
+	if batch > codecChunk {
+		batch = codecChunk
+	}
+	if d.buf == nil {
+		d.buf = make([]byte, codecChunk*eventRecSize)
+	}
+	chunk := d.buf[:batch*eventRecSize]
+	if _, err := io.ReadFull(d.br, chunk); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
 		}
-		chunk := buf[:batch*eventRecSize]
-		if _, err := io.ReadFull(br, chunk); err != nil {
+		return fmt.Errorf("trace: event %d: %w", d.read, err)
+	}
+	d.bufPos = 0
+	d.bufLen = int(batch) * eventRecSize
+	return nil
+}
+
+// Next returns the next event, io.EOF after the declared count has been
+// read, or a validation error. The error is sticky.
+func (d *Decoder) Next() (Event, error) {
+	if d.err != nil {
+		return Event{}, d.err
+	}
+	if d.bufPos >= d.bufLen {
+		if err := d.fill(); err != nil {
+			d.err = err
+			return Event{}, err
+		}
+	}
+	e := getEvent(d.buf[d.bufPos:])
+	d.bufPos += eventRecSize
+	if !e.Kind.Valid() {
+		d.err = fmt.Errorf("trace: event %d has invalid kind %d", d.read, byte(e.Kind))
+		return Event{}, d.err
+	}
+	if e.Thread < 0 || int(e.Thread) >= d.hdr.NumThreads {
+		d.err = fmt.Errorf("trace: event %d thread %d out of range [0,%d)", d.read, e.Thread, d.hdr.NumThreads)
+		return Event{}, d.err
+	}
+	d.read++
+	return e, nil
+}
+
+// appendAll drains the remaining events into dst chunk-at-a-time,
+// bypassing the per-event Next call so bulk materialization runs at the
+// chunked decode loop's speed. Validation is identical to Next.
+func (d *Decoder) appendAll(dst []Event) ([]Event, error) {
+	if d.err != nil {
+		return dst, d.err
+	}
+	for {
+		if d.bufPos >= d.bufLen {
+			if err := d.fill(); err != nil {
+				d.err = err
+				if err == io.EOF {
+					return dst, nil
+				}
+				return dst, err
+			}
+		}
+		nthreads := int32(d.hdr.NumThreads)
+		for d.bufPos < d.bufLen {
+			e := getEvent(d.buf[d.bufPos:])
+			if !e.Kind.Valid() {
+				d.err = fmt.Errorf("trace: event %d has invalid kind %d", d.read, byte(e.Kind))
+				return dst, d.err
+			}
+			if e.Thread < 0 || e.Thread >= nthreads {
+				d.err = fmt.Errorf("trace: event %d thread %d out of range [0,%d)", d.read, e.Thread, d.hdr.NumThreads)
+				return dst, d.err
+			}
+			d.bufPos += eventRecSize
+			d.read++
+			dst = append(dst, e)
+		}
+	}
+}
+
+// Encoder streams a trace to w in the binary format. The format stores
+// the event count ahead of the records, so the count must be declared up
+// front; Close fails if the written count disagrees — a truncated or
+// overfull stream never masquerades as a valid trace.
+type Encoder struct {
+	bw      *bufio.Writer
+	declare uint64
+	written uint64
+	buf     []byte
+	bufLen  int
+	err     error
+}
+
+// NewEncoder writes the header for hdr and nevents upcoming events to w
+// and returns the event sink.
+func NewEncoder(w io.Writer, hdr Header, nevents int) (*Encoder, error) {
+	if hdr.NumThreads < 0 || hdr.NumThreads > MaxThreads {
+		return nil, fmt.Errorf("trace: thread count %d out of range [0,%d]", hdr.NumThreads, MaxThreads)
+	}
+	if len(hdr.Phases) > MaxPhases {
+		return nil, fmt.Errorf("trace: phase count %d exceeds %d", len(hdr.Phases), MaxPhases)
+	}
+	if nevents < 0 {
+		return nil, fmt.Errorf("trace: negative event count %d", nevents)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return nil, err
+	}
+	var scratch [16]byte
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(hdr.NumThreads))
+	binary.LittleEndian.PutUint64(scratch[4:12], uint64(hdr.EventOverhead))
+	binary.LittleEndian.PutUint32(scratch[12:16], uint32(len(hdr.Phases)))
+	if _, err := bw.Write(scratch[:16]); err != nil {
+		return nil, err
+	}
+	phaseBytes := 0
+	for _, p := range hdr.Phases {
+		if len(p) > 0xffff {
+			return nil, fmt.Errorf("trace: phase name too long (%d bytes)", len(p))
+		}
+		if phaseBytes += len(p); phaseBytes > MaxPhaseBytes {
+			return nil, fmt.Errorf("trace: phase table exceeds %d bytes", MaxPhaseBytes)
+		}
+		binary.LittleEndian.PutUint16(scratch[:2], uint16(len(p)))
+		if _, err := bw.Write(scratch[:2]); err != nil {
 			return nil, err
 		}
-		for i := uint64(0); i < batch; i++ {
-			e := getEvent(chunk[i*eventRecSize:])
-			if !e.Kind.Valid() {
-				return nil, fmt.Errorf("trace: event %d has invalid kind %d", read+i, byte(e.Kind))
-			}
-			t.Events = append(t.Events, e)
+		if _, err := bw.WriteString(p); err != nil {
+			return nil, err
 		}
-		read += batch
+	}
+	binary.LittleEndian.PutUint64(scratch[:8], uint64(nevents))
+	if _, err := bw.Write(scratch[:8]); err != nil {
+		return nil, err
+	}
+	return &Encoder{bw: bw, declare: uint64(nevents)}, nil
+}
+
+// WriteEvent appends one event record.
+func (e *Encoder) WriteEvent(ev Event) error {
+	if e.err != nil {
+		return e.err
+	}
+	if e.written == e.declare {
+		e.err = fmt.Errorf("trace: more events written than the declared %d", e.declare)
+		return e.err
+	}
+	if e.buf == nil {
+		e.buf = make([]byte, codecChunk*eventRecSize)
+	}
+	putEvent(e.buf[e.bufLen:e.bufLen+eventRecSize], &ev)
+	e.bufLen += eventRecSize
+	e.written++
+	if e.bufLen == len(e.buf) {
+		if _, err := e.bw.Write(e.buf[:e.bufLen]); err != nil {
+			e.err = err
+			return err
+		}
+		e.bufLen = 0
+	}
+	return nil
+}
+
+// WriteEvents appends a batch of event records, staging directly into
+// the chunk buffer so bulk encoding skips the per-event WriteEvent call.
+func (e *Encoder) WriteEvents(evs []Event) error {
+	if e.err != nil {
+		return e.err
+	}
+	if uint64(len(evs)) > e.declare-e.written {
+		e.err = fmt.Errorf("trace: more events written than the declared %d", e.declare)
+		return e.err
+	}
+	if e.buf == nil {
+		e.buf = make([]byte, codecChunk*eventRecSize)
+	}
+	for i := 0; i < len(evs); {
+		n := (len(e.buf) - e.bufLen) / eventRecSize
+		if n > len(evs)-i {
+			n = len(evs) - i
+		}
+		for j := i; j < i+n; j++ {
+			putEvent(e.buf[e.bufLen:e.bufLen+eventRecSize], &evs[j])
+			e.bufLen += eventRecSize
+		}
+		i += n
+		if e.bufLen == len(e.buf) {
+			if _, err := e.bw.Write(e.buf[:e.bufLen]); err != nil {
+				e.err = err
+				return err
+			}
+			e.bufLen = 0
+		}
+	}
+	e.written += uint64(len(evs))
+	return nil
+}
+
+// Close flushes buffered records and verifies the declared event count
+// was written exactly.
+func (e *Encoder) Close() error {
+	if e.err != nil {
+		return e.err
+	}
+	if e.written != e.declare {
+		e.err = fmt.Errorf("trace: wrote %d events, declared %d", e.written, e.declare)
+		return e.err
+	}
+	if e.bufLen > 0 {
+		if _, err := e.bw.Write(e.buf[:e.bufLen]); err != nil {
+			e.err = err
+			return err
+		}
+		e.bufLen = 0
+	}
+	if err := e.bw.Flush(); err != nil {
+		e.err = err
+		return err
+	}
+	return nil
+}
+
+// EncodedSize returns the exact number of bytes the binary encoding of a
+// trace with this header and event count occupies — the budget arithmetic
+// behind size limits, cheap enough to run before encoding anything.
+func EncodedSize(hdr Header, nevents int) int64 {
+	n := int64(5 + 16 + 8) // magic + fixed header + event count
+	for _, p := range hdr.Phases {
+		n += 2 + int64(len(p))
+	}
+	return n + int64(nevents)*eventRecSize
+}
+
+// WriteBinary encodes the trace to w in the binary format.
+func WriteBinary(w io.Writer, t *Trace) error {
+	enc, err := NewEncoder(w, t.Header(), len(t.Events))
+	if err != nil {
+		return err
+	}
+	if err := enc.WriteEvents(t.Events); err != nil {
+		return err
+	}
+	return enc.Close()
+}
+
+// readPrealloc caps how many event slots ReadBinary reserves from the
+// declared (untrusted) count before any record bytes arrive: ~640 KiB of
+// slack, so a 41-byte hostile file claiming 2^40 events still costs a
+// small constant while honest traces skip most append regrowth.
+const readPrealloc = 16384
+
+// ReadBinary decodes a whole trace from r into memory. Allocation grows
+// with the records actually present in the input, never with the
+// declared (untrusted) header counts; use NewDecoder directly to consume
+// a trace without materializing it.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	d, err := NewDecoder(r)
+	if err != nil {
+		return nil, err
+	}
+	t := &Trace{
+		NumThreads:    d.hdr.NumThreads,
+		EventOverhead: d.hdr.EventOverhead,
+		Phases:        d.hdr.Phases,
+	}
+	prealloc := d.declare
+	if prealloc > readPrealloc {
+		prealloc = readPrealloc
+	}
+	t.Events, err = d.appendAll(make([]Event, 0, prealloc))
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -238,6 +502,16 @@ func ReadText(r io.Reader) (*Trace, error) {
 	if t.NumThreads == 0 {
 		return nil, errors.New("trace: missing #threads header")
 	}
+	if t.NumThreads < 0 || t.NumThreads > MaxThreads {
+		return nil, fmt.Errorf("trace: implausible thread count %d", t.NumThreads)
+	}
+	// The #threads header may appear anywhere, so thread ids are checked
+	// once the count is known — mirroring the binary decoder's rule.
+	for i, e := range t.Events {
+		if e.Thread < 0 || int(e.Thread) >= t.NumThreads {
+			return nil, fmt.Errorf("trace: event %d thread %d out of range [0,%d)", i, e.Thread, t.NumThreads)
+		}
+	}
 	return t, nil
 }
 
@@ -271,6 +545,12 @@ func parseTextHeader(t *Trace, line string) error {
 		id, err := strconv.Atoi(fields[1])
 		if err != nil {
 			return err
+		}
+		// The id sizes the phase table, so it is as untrusted as the
+		// binary header counts: a single "#phase 9999999999 x" line must
+		// not demand a giant allocation.
+		if id < 0 || id >= MaxPhases {
+			return fmt.Errorf("trace: phase id %d out of range [0,%d)", id, MaxPhases)
 		}
 		for len(t.Phases) <= id {
 			t.Phases = append(t.Phases, "")

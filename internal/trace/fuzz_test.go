@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzBinaryRoundTrip feeds arbitrary bytes to the binary decoder. The
+// decoder must never panic and never allocate proportionally to forged
+// header fields; whenever it accepts an input, the re-encoding must be
+// canonical: encode(decode(x)) is a fixed point of decode∘encode, byte
+// for byte.
+func FuzzBinaryRoundTrip(f *testing.F) {
+	// A well-formed trace.
+	good := makeBarrierTrace(4, 2)
+	good.PhaseID("init")
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, good); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+
+	// The hostile-header corpus from the decoder regression tests.
+	f.Add(hostileHeader(4, 0, nil, 1<<39, nil))               // huge declared nevents
+	f.Add(hostileHeader(4, 0, nil, MaxEvents+1, nil))         // nevents past cap
+	f.Add(hostileHeaderNPhase(4, 1<<31, 0))                   // forged nphase
+	f.Add(hostileHeaderNPhase(4, 1000, 0))                    // truncated phase table
+	f.Add(hostileHeader(MaxThreads+1, 0, nil, 0, nil))        // absurd thread count
+	f.Add(hostileHeader(1, 0, nil, 100, encodeEvents([]Event{ // truncated events
+		{Time: 1, Kind: KindThreadStart, Thread: 0}})))
+	f.Add(hostileHeader(2, 0, nil, 1, encodeEvents([]Event{ // thread out of range
+		{Time: 1, Kind: KindThreadStart, Thread: 9}})))
+	f.Add(hostileHeader(1, 0, nil, 1, encodeEvents([]Event{ // invalid kind
+		{Time: 1, Kind: 0xee, Thread: 0}})))
+	f.Add([]byte("XTRP1")) // magic only
+	f.Add([]byte("not a trace"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var enc1 bytes.Buffer
+		if err := WriteBinary(&enc1, tr); err != nil {
+			t.Fatalf("re-encode of accepted trace failed: %v", err)
+		}
+		tr2, err := ReadBinary(bytes.NewReader(enc1.Bytes()))
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		var enc2 bytes.Buffer
+		if err := WriteBinary(&enc2, tr2); err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc1.Bytes(), enc2.Bytes()) {
+			t.Fatal("encode→decode→encode is not byte-stable")
+		}
+	})
+}

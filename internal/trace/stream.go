@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"io"
+
+	"extrap/internal/vtime"
+)
+
+// Header carries a trace's metadata separate from its event stream: the
+// thread count, the per-event instrumentation overhead, and the
+// phase-name table. It is everything a streaming consumer needs before
+// the first event, and everything the binary codec writes before the
+// event records.
+type Header struct {
+	NumThreads    int
+	EventOverhead vtime.Time
+	Phases        []string
+}
+
+// Reader is a forward-only cursor over an event stream. Next returns
+// io.EOF after the last event. Readers are single-consumer: they are not
+// safe for concurrent use.
+type Reader interface {
+	Next() (Event, error)
+}
+
+// Writer consumes an event stream one record at a time.
+type Writer interface {
+	WriteEvent(Event) error
+}
+
+// SliceReader adapts an in-memory event slice to the Reader cursor, so
+// whole-trace callers and streaming callers share one consumption API.
+// The slice is not copied; it must not be mutated while being read.
+type SliceReader struct {
+	evs []Event
+	pos int
+}
+
+// NewSliceReader returns a Reader over evs.
+func NewSliceReader(evs []Event) *SliceReader { return &SliceReader{evs: evs} }
+
+// Next returns the next event or io.EOF.
+func (r *SliceReader) Next() (Event, error) {
+	if r.pos >= len(r.evs) {
+		return Event{}, io.EOF
+	}
+	e := r.evs[r.pos]
+	r.pos++
+	return e, nil
+}
+
+// Len reports the number of events remaining.
+func (r *SliceReader) Len() int { return len(r.evs) - r.pos }
+
+// Header returns the trace's metadata. The Phases slice is shared, not
+// copied.
+func (t *Trace) Header() Header {
+	return Header{NumThreads: t.NumThreads, EventOverhead: t.EventOverhead, Phases: t.Phases}
+}
+
+// Reader returns a cursor over the trace's events.
+func (t *Trace) Reader() *SliceReader { return NewSliceReader(t.Events) }
+
+// ReadAll drains r into a slice — the adapter from the streaming world
+// back to the in-memory one.
+func ReadAll(r Reader) ([]Event, error) {
+	var out []Event
+	for {
+		e, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+}
+
+// CopyEvents streams every event from r to w and reports how many were
+// copied.
+func CopyEvents(w Writer, r Reader) (int, error) {
+	n := 0
+	for {
+		e, err := r.Next()
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		if err := w.WriteEvent(e); err != nil {
+			return n, err
+		}
+		n++
+	}
+}

@@ -1,0 +1,378 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"testing"
+
+	"extrap/internal/vtime"
+)
+
+// hostileHeader builds a raw XTRP1 header with arbitrary (possibly
+// absurd) field values, followed by body bytes. It deliberately bypasses
+// the Encoder so tests can express inputs a well-behaved writer would
+// never produce.
+func hostileHeader(threads uint32, ovh uint64, phases []string, nevents uint64, body []byte) []byte {
+	var buf bytes.Buffer
+	buf.Write(binaryMagic[:])
+	var scratch [8]byte
+	binary.LittleEndian.PutUint32(scratch[:4], threads)
+	buf.Write(scratch[:4])
+	binary.LittleEndian.PutUint64(scratch[:8], ovh)
+	buf.Write(scratch[:8])
+	binary.LittleEndian.PutUint32(scratch[:4], uint32(len(phases)))
+	buf.Write(scratch[:4])
+	for _, p := range phases {
+		binary.LittleEndian.PutUint16(scratch[:2], uint16(len(p)))
+		buf.Write(scratch[:2])
+		buf.WriteString(p)
+	}
+	binary.LittleEndian.PutUint64(scratch[:8], nevents)
+	buf.Write(scratch[:8])
+	buf.Write(body)
+	return buf.Bytes()
+}
+
+// hostileHeaderNPhase is hostileHeader with the phase *count* field forged
+// independently of the phase entries actually present.
+func hostileHeaderNPhase(threads, nphase uint32, nevents uint64) []byte {
+	var buf bytes.Buffer
+	buf.Write(binaryMagic[:])
+	var scratch [8]byte
+	binary.LittleEndian.PutUint32(scratch[:4], threads)
+	buf.Write(scratch[:4])
+	binary.LittleEndian.PutUint64(scratch[:8], 0)
+	buf.Write(scratch[:8])
+	binary.LittleEndian.PutUint32(scratch[:4], nphase)
+	buf.Write(scratch[:4])
+	binary.LittleEndian.PutUint64(scratch[:8], nevents)
+	buf.Write(scratch[:8])
+	return buf.Bytes()
+}
+
+// encodeEvents encodes events in the raw record format for test bodies.
+func encodeEvents(evs []Event) []byte {
+	out := make([]byte, len(evs)*eventRecSize)
+	for i := range evs {
+		putEvent(out[i*eventRecSize:], &evs[i])
+	}
+	return out
+}
+
+// TestHostileHeaderHugeEventCount is the regression test for the
+// pre-allocation bug: a 41-byte file declaring 2^39 events must fail
+// fast with a small, bounded allocation instead of demanding ~18 TB.
+func TestHostileHeaderHugeEventCount(t *testing.T) {
+	data := hostileHeader(4, 0, nil, 1<<39, nil)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	tr, err := ReadBinary(bytes.NewReader(data))
+	runtime.ReadMemStats(&after)
+	if err == nil {
+		t.Fatalf("decoded hostile trace: %+v", tr)
+	}
+	if grown := int64(after.TotalAlloc) - int64(before.TotalAlloc); grown > 1<<20 {
+		t.Fatalf("decoding a 41-byte hostile file allocated %d bytes", grown)
+	}
+}
+
+// TestHostileHeaderEventCountPastCap rejects declared counts above
+// MaxEvents outright, before any record is read.
+func TestHostileHeaderEventCountPastCap(t *testing.T) {
+	data := hostileHeader(4, 0, nil, MaxEvents+1, nil)
+	if _, err := NewDecoder(bytes.NewReader(data)); err == nil {
+		t.Fatal("decoder accepted event count past MaxEvents")
+	}
+}
+
+// TestHostileHeaderHugePhaseCount: a forged nphase with no phase bytes
+// behind it must not allocate a giant phase table.
+func TestHostileHeaderHugePhaseCount(t *testing.T) {
+	for _, nphase := range []uint32{MaxPhases + 1, 1 << 31} {
+		data := hostileHeaderNPhase(4, nphase, 0)
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		_, err := ReadBinary(bytes.NewReader(data))
+		runtime.ReadMemStats(&after)
+		if err == nil {
+			t.Fatalf("nphase=%d: decoder accepted forged phase count", nphase)
+		}
+		if grown := int64(after.TotalAlloc) - int64(before.TotalAlloc); grown > 1<<20 {
+			t.Fatalf("nphase=%d: allocated %d bytes on a tiny file", nphase, grown)
+		}
+	}
+}
+
+// TestHostileHeaderTruncatedPhaseTable: a plausible nphase whose entries
+// are missing must hit unexpected EOF, growing only by the bytes present.
+func TestHostileHeaderTruncatedPhaseTable(t *testing.T) {
+	data := hostileHeaderNPhase(4, 1000, 0)
+	if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+		t.Fatal("decoder accepted truncated phase table")
+	}
+}
+
+// TestHostileHeaderPhaseBytesCap: many max-length names must trip the
+// cumulative MaxPhaseBytes cap.
+func TestHostileHeaderPhaseBytesCap(t *testing.T) {
+	name := strings.Repeat("x", 0xffff)
+	phases := make([]string, MaxPhaseBytes/0xffff+2)
+	for i := range phases {
+		phases[i] = name
+	}
+	data := hostileHeader(4, 0, phases, 0, nil)
+	if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+		t.Fatal("decoder accepted phase table past MaxPhaseBytes")
+	}
+}
+
+// TestHostileHeaderThreadCount rejects implausible declared thread
+// counts.
+func TestHostileHeaderThreadCount(t *testing.T) {
+	data := hostileHeader(MaxThreads+1, 0, nil, 0, nil)
+	if _, err := NewDecoder(bytes.NewReader(data)); err == nil {
+		t.Fatal("decoder accepted thread count past MaxThreads")
+	}
+}
+
+// TestTruncatedEvents: declared count larger than the records present
+// must surface io.ErrUnexpectedEOF, not a short trace.
+func TestTruncatedEvents(t *testing.T) {
+	evs := []Event{
+		{Time: 1, Kind: KindThreadStart, Thread: 0},
+		{Time: 2, Kind: KindThreadEnd, Thread: 0},
+	}
+	data := hostileHeader(1, 0, nil, 100, encodeEvents(evs))
+	_, err := ReadBinary(bytes.NewReader(data))
+	if err == nil {
+		t.Fatal("decoder accepted truncated event stream")
+	}
+	if !strings.Contains(err.Error(), "unexpected EOF") {
+		t.Fatalf("want unexpected EOF, got %v", err)
+	}
+}
+
+// TestDecodeRejectsThreadOutOfRange: events whose Thread is negative or
+// ≥ NumThreads are rejected at decode time.
+func TestDecodeRejectsThreadOutOfRange(t *testing.T) {
+	for _, th := range []int32{-1, 2, 1 << 30} {
+		evs := []Event{{Time: 1, Kind: KindThreadStart, Thread: th}}
+		data := hostileHeader(2, 0, nil, 1, encodeEvents(evs))
+		if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+			t.Fatalf("decoder accepted event with thread %d of 2", th)
+		}
+	}
+}
+
+// TestDecodeRejectsInvalidKind: undefined kind bytes are rejected at
+// decode time.
+func TestDecodeRejectsInvalidKind(t *testing.T) {
+	for _, k := range []Kind{KindInvalid, kindCount, 0xff} {
+		evs := []Event{{Time: 1, Kind: k, Thread: 0}}
+		data := hostileHeader(1, 0, nil, 1, encodeEvents(evs))
+		if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+			t.Fatalf("decoder accepted event with kind %d", k)
+		}
+	}
+}
+
+// TestTextRejectsHostileHeaders mirrors the binary hardening for the
+// text format: forged phase ids and thread counts must not be honored.
+func TestTextRejectsHostileHeaders(t *testing.T) {
+	cases := []string{
+		"#xtrp text 1\n#threads 4\n#phase 9999999999 boom\n",
+		"#xtrp text 1\n#threads 4\n#phase -1 boom\n",
+		fmt.Sprintf("#xtrp text 1\n#threads %d\n", MaxThreads+1),
+		"#xtrp text 1\n#threads -2\n",
+		// Thread id out of declared range.
+		"#xtrp text 1\n#threads 2\n5 thread-start t7 0 0 0\n",
+	}
+	for _, in := range cases {
+		if tr, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Fatalf("ReadText accepted %q: %+v", in, tr)
+		}
+	}
+}
+
+// TestDecoderStreamsExactly: the streaming decoder yields the same
+// events ReadBinary materializes, then sticks at io.EOF.
+func TestDecoderStreamsExactly(t *testing.T) {
+	tr := makeBarrierTrace(4, 3)
+	tr.PhaseID("init")
+	tr.PhaseID("solve")
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := d.Header()
+	if hdr.NumThreads != tr.NumThreads || len(hdr.Phases) != len(tr.Phases) {
+		t.Fatalf("header mismatch: %+v", hdr)
+	}
+	if d.Declared() != uint64(len(tr.Events)) {
+		t.Fatalf("declared %d, want %d", d.Declared(), len(tr.Events))
+	}
+	got, err := ReadAll(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tr.Events) {
+		t.Fatalf("streamed %d events, want %d", len(got), len(tr.Events))
+	}
+	for i := range got {
+		if got[i] != tr.Events[i] {
+			t.Fatalf("event %d: got %+v want %+v", i, got[i], tr.Events[i])
+		}
+	}
+	if _, err := d.Next(); err != io.EOF {
+		t.Fatalf("after end: %v, want io.EOF", err)
+	}
+}
+
+// TestSliceReaderAndCopy exercises the slice adapter and the stream
+// plumbing helpers.
+func TestSliceReaderAndCopy(t *testing.T) {
+	tr := makeBarrierTrace(2, 2)
+	r := tr.Reader()
+	if r.Len() != len(tr.Events) {
+		t.Fatalf("Len() = %d, want %d", r.Len(), len(tr.Events))
+	}
+	var buf bytes.Buffer
+	enc, err := NewEncoder(&buf, tr.Header(), len(tr.Events))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := CopyEvents(enc, r)
+	if err != nil || n != len(tr.Events) {
+		t.Fatalf("CopyEvents = %d, %v", n, err)
+	}
+	if err := enc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("reader not drained: %d left", r.Len())
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("drained reader: %v, want io.EOF", err)
+	}
+	var ref bytes.Buffer
+	if err := WriteBinary(&ref, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), ref.Bytes()) {
+		t.Fatal("streamed encoding differs from WriteBinary")
+	}
+	if want := EncodedSize(tr.Header(), len(tr.Events)); int64(buf.Len()) != want {
+		t.Fatalf("EncodedSize = %d, encoded %d bytes", want, buf.Len())
+	}
+}
+
+// TestEncoderCountMismatch: the encoder refuses both overfull and
+// underfull streams, so a declared count is always honest on the wire.
+func TestEncoderCountMismatch(t *testing.T) {
+	ev := Event{Time: 1, Kind: KindThreadStart, Thread: 0}
+	var buf bytes.Buffer
+	enc, err := NewEncoder(&buf, Header{NumThreads: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.WriteEvent(ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.WriteEvent(ev); err == nil {
+		t.Fatal("encoder accepted event past declared count")
+	}
+
+	buf.Reset()
+	enc, err = NewEncoder(&buf, Header{NumThreads: 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.WriteEvent(ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Close(); err == nil {
+		t.Fatal("encoder Close accepted underfull stream")
+	}
+}
+
+// TestPhaseIDManyPhases covers the map-backed intern: linear-time and
+// first-seen-deterministic over a phase-heavy trace, including ids
+// assigned behind PhaseID's back by direct Phases appends.
+func TestPhaseIDManyPhases(t *testing.T) {
+	const n = 20000
+	tr := New(1)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("phase-%d", i)
+		if id := tr.PhaseID(name); id != int64(i) {
+			t.Fatalf("PhaseID(%q) = %d, want %d", name, id, i)
+		}
+	}
+	// Duplicates resolve to the first-seen id.
+	for _, i := range []int{0, 1, n / 2, n - 1} {
+		name := fmt.Sprintf("phase-%d", i)
+		if id := tr.PhaseID(name); id != int64(i) {
+			t.Fatalf("re-intern PhaseID(%q) = %d, want %d", name, id, i)
+		}
+	}
+	if len(tr.Phases) != n {
+		t.Fatalf("len(Phases) = %d, want %d", len(tr.Phases), n)
+	}
+	// A direct append (as the codecs do) must be observed, not shadowed.
+	tr.Phases = append(tr.Phases, "external")
+	if id := tr.PhaseID("external"); id != int64(n) {
+		t.Fatalf("PhaseID(external) = %d, want %d", id, n)
+	}
+	if id := tr.PhaseID("phase-3"); id != 3 {
+		t.Fatalf("after external append, PhaseID(phase-3) = %d", id)
+	}
+	// Duplicate names in the table: first occurrence wins, matching the
+	// original linear scan.
+	tr2 := &Trace{Phases: []string{"a", "b", "a"}}
+	if id := tr2.PhaseID("a"); id != 0 {
+		t.Fatalf("duplicate-table PhaseID(a) = %d, want 0", id)
+	}
+}
+
+// TestPhaseIDMatchesLinearScan cross-checks the map intern against the
+// original reference implementation on a mixed workload.
+func TestPhaseIDMatchesLinearScan(t *testing.T) {
+	linear := func(phases *[]string, name string) int64 {
+		for i, p := range *phases {
+			if p == name {
+				return int64(i)
+			}
+		}
+		*phases = append(*phases, name)
+		return int64(len(*phases) - 1)
+	}
+	tr := New(1)
+	var ref []string
+	for i := 0; i < 500; i++ {
+		name := fmt.Sprintf("p%d", i%37)
+		want := linear(&ref, name)
+		if got := tr.PhaseID(name); got != want {
+			t.Fatalf("PhaseID(%q) = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// TestHeaderSharesMetadata pins the (cheap) contract of Trace.Header.
+func TestHeaderSharesMetadata(t *testing.T) {
+	tr := New(3)
+	tr.EventOverhead = vtime.Time(42)
+	tr.PhaseID("a")
+	h := tr.Header()
+	if h.NumThreads != 3 || h.EventOverhead != 42 || len(h.Phases) != 1 {
+		t.Fatalf("Header() = %+v", h)
+	}
+}

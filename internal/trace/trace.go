@@ -24,6 +24,13 @@ type Trace struct {
 	// Events holds the records in timestamp order (merged across threads
 	// for a 1-processor measurement).
 	Events []Event
+
+	// phaseIdx maps phase names to their ids for O(1) interning;
+	// phaseSynced is the Phases length the index reflects, so direct
+	// appends to Phases (codecs and translation write it directly)
+	// trigger a rebuild instead of serving stale ids.
+	phaseIdx    map[string]int64
+	phaseSynced int
 }
 
 // New returns an empty trace for n threads.
@@ -34,15 +41,30 @@ func New(n int) *Trace {
 // Append adds an event to the trace.
 func (t *Trace) Append(e Event) { t.Events = append(t.Events, e) }
 
-// PhaseID interns a phase name, returning its id.
+// PhaseID interns a phase name, returning its id. Ids are assigned in
+// first-seen order, and a duplicate name always resolves to its first
+// id, exactly as the original linear scan did — but each intern is O(1),
+// so phase-heavy measurements stay linear instead of quadratic.
 func (t *Trace) PhaseID(name string) int64 {
-	for i, p := range t.Phases {
-		if p == name {
-			return int64(i)
+	if t.phaseIdx == nil || t.phaseSynced != len(t.Phases) {
+		// First intern, or Phases was appended to externally: (re)build
+		// the index from the table, first occurrence winning.
+		t.phaseIdx = make(map[string]int64, len(t.Phases)+1)
+		for i, p := range t.Phases {
+			if _, ok := t.phaseIdx[p]; !ok {
+				t.phaseIdx[p] = int64(i)
+			}
 		}
+		t.phaseSynced = len(t.Phases)
+	}
+	if id, ok := t.phaseIdx[name]; ok {
+		return id
 	}
 	t.Phases = append(t.Phases, name)
-	return int64(len(t.Phases) - 1)
+	id := int64(len(t.Phases) - 1)
+	t.phaseIdx[name] = id
+	t.phaseSynced = len(t.Phases)
+	return id
 }
 
 // PhaseName returns the name for a phase id, or a placeholder if unknown.
