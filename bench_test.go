@@ -27,6 +27,7 @@ import (
 	"extrap/internal/pcxx"
 	"extrap/internal/profile"
 	"extrap/internal/sim"
+	"extrap/internal/store"
 	"extrap/internal/timeline"
 	"extrap/internal/trace"
 	"extrap/internal/translate"
@@ -455,6 +456,35 @@ func BenchmarkInMemoryPipelineMemory(b *testing.B) {
 	b.ReportMetric(float64(nEvents)/1e6, "Mevents")
 	b.ReportMetric(float64(maxLive), "peak-live-B")
 	b.ReportMetric(float64(maxLive)/float64(nEvents), "live-B/event")
+}
+
+// BenchmarkStoreRoundTrip times one durable-store artifact round trip:
+// Put an encoded mid-size Grid trace under a fresh key, then Get it
+// back. Covers the content-address hash, the payload checksum, the
+// atomic temp-file+rename write, and the full read-side verification.
+func BenchmarkStoreRoundTrip(b *testing.B) {
+	tr := measureGrid(b, 16)
+	var buf bytes.Buffer
+	if err := trace.WriteBinary(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	enc := buf.Bytes()
+	st, err := store.Open(b.TempDir(), 256<<20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := "bench/store-roundtrip|" + strconv.Itoa(i)
+		if err := st.Put(key, enc); err != nil {
+			b.Fatal(err)
+		}
+		if got, ok := st.Get(key); !ok || len(got) != len(enc) {
+			b.Fatal("store round trip lost the artifact")
+		}
+	}
 }
 
 // BenchmarkTraceCodec times the binary codec round trip.

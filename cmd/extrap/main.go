@@ -34,6 +34,7 @@ import (
 	"extrap/internal/pcxx"
 	"extrap/internal/profile"
 	"extrap/internal/sim"
+	"extrap/internal/store"
 	"extrap/internal/timeline"
 	"extrap/internal/trace"
 	"extrap/internal/translate"
@@ -615,28 +616,37 @@ func cmdCalibrate(out io.Writer) error {
 // the engine Options plus output destinations. Split from cmdExperiment
 // (and parsed with ContinueOnError) so flag plumbing is testable without
 // the flag package exiting the process.
-func parseExperimentFlags(args []string) (opts experiments.Options, id, csvDir, svgDir string, err error) {
+func parseExperimentFlags(args []string) (opts experiments.Options, id, csvDir, svgDir, storeDir string, err error) {
 	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "small problem sizes and a short processor ladder")
 	workers := fs.Int("workers", 0, "worker goroutines for the measurement/simulation grid (0 = all CPUs, 1 = sequential; output is identical at any value)")
 	csv := fs.String("csv", "", "also write each table as CSV into this directory")
 	svg := fs.String("svg", "", "also write each figure as SVG into this directory")
+	storeFlag := fs.String("store", "", "durable artifact store directory: measurements persist there and repeated runs reuse them instead of re-measuring (empty = in-memory only)")
 	if err = fs.Parse(args); err != nil {
-		return opts, "", "", "", err
+		return opts, "", "", "", "", err
 	}
 	if *workers < 0 {
-		return opts, "", "", "", fmt.Errorf("experiment: -workers must be ≥ 0 (0 = all CPUs), got %d", *workers)
+		return opts, "", "", "", "", fmt.Errorf("experiment: -workers must be ≥ 0 (0 = all CPUs), got %d", *workers)
 	}
 	if fs.NArg() != 1 {
-		return opts, "", "", "", fmt.Errorf("experiment: exactly one experiment id (or \"all\") required")
+		return opts, "", "", "", "", fmt.Errorf("experiment: exactly one experiment id (or \"all\") required")
 	}
-	return experiments.Options{Quick: *quick, Workers: *workers}, fs.Arg(0), *csv, *svg, nil
+	return experiments.Options{Quick: *quick, Workers: *workers}, fs.Arg(0), *csv, *svg, *storeFlag, nil
 }
 
 func cmdExperiment(args []string, w io.Writer) error {
-	opts, id, csvDir, svgDir, err := parseExperimentFlags(args)
+	opts, id, csvDir, svgDir, storeDir, err := parseExperimentFlags(args)
 	if err != nil {
 		return err
+	}
+	if storeDir != "" {
+		st, err := store.Open(storeDir, 0)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		opts.Backend = st
 	}
 	var exps []experiments.Experiment
 	if id == "all" {

@@ -26,6 +26,9 @@ func cmdServe(args []string, out io.Writer) error {
 	workers := fs.Int("workers", 0, "worker goroutines per sweep request (0 = all CPUs)")
 	cacheEntries := fs.Int("cache-entries", 256, "measurement memo-cache bound (LRU-evicted past it)")
 	maxTraceBytes := fs.Int64("max-trace-bytes", 256<<20, "per-measurement encoded-trace budget in bytes; requests past it get 413 (-1 = unlimited)")
+	storeDir := fs.String("store-dir", "", "durable artifact store directory; enables on-disk trace/prediction reuse and the async jobs API (empty = in-memory only)")
+	storeBytes := fs.Int64("store-bytes", 0, "artifact store on-disk budget in bytes, LRU-evicted past it (0 = unlimited)")
+	jobWorkers := fs.Int("jobs-workers", 1, "concurrently executing async jobs (requires -store-dir)")
 	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -45,16 +48,29 @@ func cmdServe(args []string, out io.Writer) error {
 	if *maxTraceBytes == 0 {
 		return fmt.Errorf("serve: -max-trace-bytes must be positive (or -1 for unlimited), got 0")
 	}
+	if *storeBytes < 0 {
+		return fmt.Errorf("serve: -store-bytes must be ≥ 0 (0 = unlimited), got %d", *storeBytes)
+	}
+	if *jobWorkers < 1 {
+		return fmt.Errorf("serve: -jobs-workers must be ≥ 1, got %d", *jobWorkers)
+	}
 
-	srv := serve.New(serve.Config{
+	srv, err := serve.New(serve.Config{
 		MaxInFlight:    *maxInflight,
 		QueueWait:      *queueWait,
 		RequestTimeout: *timeout,
 		Workers:        *workers,
 		CacheEntries:   *cacheEntries,
 		MaxTraceBytes:  *maxTraceBytes,
+		StoreDir:       *storeDir,
+		StoreBytes:     *storeBytes,
+		JobWorkers:     *jobWorkers,
 		EnablePprof:    *pprofFlag,
 	})
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	defer srv.Close()
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)

@@ -9,24 +9,24 @@ import (
 // TestParseExperimentFlags: CLI flags must land in the engine Options
 // verbatim, with the id and output dirs split out.
 func TestParseExperimentFlags(t *testing.T) {
-	opts, id, csvDir, svgDir, err := parseExperimentFlags(
-		[]string{"-quick", "-workers", "3", "-csv", "/tmp/c", "-svg", "/tmp/s", "fig4"})
+	opts, id, csvDir, svgDir, storeDir, err := parseExperimentFlags(
+		[]string{"-quick", "-workers", "3", "-csv", "/tmp/c", "-svg", "/tmp/s", "-store", "/tmp/st", "fig4"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !opts.Quick || opts.Workers != 3 {
 		t.Errorf("Options = %+v, want Quick=true Workers=3", opts)
 	}
-	if id != "fig4" || csvDir != "/tmp/c" || svgDir != "/tmp/s" {
-		t.Errorf("id=%q csv=%q svg=%q", id, csvDir, svgDir)
+	if id != "fig4" || csvDir != "/tmp/c" || svgDir != "/tmp/s" || storeDir != "/tmp/st" {
+		t.Errorf("id=%q csv=%q svg=%q store=%q", id, csvDir, svgDir, storeDir)
 	}
 
-	opts, id, _, _, err = parseExperimentFlags([]string{"all"})
+	opts, id, _, _, storeDir, err = parseExperimentFlags([]string{"all"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if opts.Quick || opts.Workers != 0 || id != "all" {
-		t.Errorf("defaults: opts=%+v id=%q", opts, id)
+	if opts.Quick || opts.Workers != 0 || id != "all" || storeDir != "" {
+		t.Errorf("defaults: opts=%+v id=%q store=%q", opts, id, storeDir)
 	}
 }
 

@@ -92,6 +92,21 @@ type lruNode struct {
 	e   *cacheEntry
 }
 
+// TraceBackend is a durable tier behind a TraceCache: measurements the
+// memory cache does not hold are looked up here (as encoded XTRP1 bytes)
+// before being re-measured, and fresh measurements are written through.
+// internal/store implements it with a content-addressed on-disk store.
+//
+// Both methods must be safe for concurrent use. GetTrace returns
+// (payload, true) only for bytes it can vouch for (the store verifies
+// checksums and treats corruption as a miss); PutTrace is best-effort —
+// a write failure loses durability, never correctness, so it reports
+// nothing here and is counted by the implementation instead.
+type TraceBackend interface {
+	GetTrace(key CacheKey) ([]byte, bool)
+	PutTrace(key CacheKey, enc []byte)
+}
+
 // TraceCache memoizes measurement traces (and their translations) across
 // the cells of a parameter-grid experiment. Grids vary only the
 // simulation Config between cells, so each distinct measurement runs
@@ -108,6 +123,11 @@ type TraceCache struct {
 	maxB    int64 // per-trace encoded-size budget (0 = unlimited)
 	entries map[CacheKey]*list.Element
 	order   *list.List // front = most recently used; values are *lruNode
+	// flights tracks entries whose first measurement is still running,
+	// keyed independently of the LRU so eviction pressure cannot detach
+	// concurrent requests from an in-progress measurement (see entry).
+	flights map[CacheKey]*cacheEntry
+	backend TraceBackend
 	lookups atomic.Int64
 	misses  atomic.Int64
 }
@@ -134,8 +154,16 @@ func NewBoundedTraceCache(maxEntries int) *TraceCache {
 		max:     maxEntries,
 		entries: make(map[CacheKey]*list.Element),
 		order:   list.New(),
+		flights: make(map[CacheKey]*cacheEntry),
 	}
 }
+
+// SetBackend attaches a durable tier behind the memory cache: misses
+// consult the backend before re-measuring, and fresh measurements are
+// written through as encoded XTRP1 bytes. Attach the backend before the
+// cache is shared across goroutines (typically right after
+// construction); it must not change while lookups are running.
+func (c *TraceCache) SetBackend(b TraceBackend) { c.backend = b }
 
 // NewEncodedTraceCache returns a bounded cache that stores measurements
 // as compact XTRP1 bytes rather than live *trace.Trace values. Consumers
@@ -159,6 +187,14 @@ func (c *TraceCache) Streams() bool { return c.encoded }
 // recency and evicting the least recently used entry past the bound.
 // An evicted entry stays valid for callers already holding it; its next
 // lookup simply re-measures.
+//
+// Measurement is single-flight per key even under eviction pressure: a
+// newly created entry is registered in c.flights until its first
+// measurement attempt finishes (settle), so a concurrent request for the
+// same key joins the in-progress run even if the LRU has already evicted
+// the entry — without the flights map, N concurrent misses could run up
+// to N identical measurements whenever churn on other keys pushes the
+// shared entry out between their lookups.
 func (c *TraceCache) entry(key CacheKey) *cacheEntry {
 	c.lookups.Add(1)
 	c.mu.Lock()
@@ -167,7 +203,11 @@ func (c *TraceCache) entry(key CacheKey) *cacheEntry {
 		c.order.MoveToFront(el)
 		return el.Value.(*lruNode).e
 	}
+	if e, ok := c.flights[key]; ok {
+		return e
+	}
 	e := &cacheEntry{}
+	c.flights[key] = e
 	c.entries[key] = c.order.PushFront(&lruNode{key: key, e: e})
 	if c.max > 0 && c.order.Len() > c.max {
 		oldest := c.order.Back()
@@ -175,6 +215,18 @@ func (c *TraceCache) entry(key CacheKey) *cacheEntry {
 		delete(c.entries, oldest.Value.(*lruNode).key)
 	}
 	return e
+}
+
+// settle unregisters an entry's flight after its first measurement
+// attempt completes — successfully, with a memoized failure, or with a
+// non-memoized context abort (leaving an aborted flight registered would
+// leak one map entry per never-retried key).
+func (c *TraceCache) settle(key CacheKey, e *cacheEntry) {
+	c.mu.Lock()
+	if c.flights[key] == e {
+		delete(c.flights, key)
+	}
+	c.mu.Unlock()
 }
 
 // Len reports the number of entries currently cached.
@@ -185,37 +237,78 @@ func (c *TraceCache) Len() int {
 }
 
 // measure runs or reuses the memoized measurement; the caller holds
-// e.mu. Context cancellations are NOT memoized: an aborted measurement
-// returns its error to that caller only, and the next caller re-runs
-// the measurement under its own deadline — one impatient request never
-// poisons the cache for everyone else. Deterministic failures (bad
-// program, malformed trace) are memoized like successes.
-func (c *TraceCache) measureLocked(e *cacheEntry, measure func() (*trace.Trace, error)) (*trace.Trace, error) {
+// e.mu. A configured backend is consulted before measuring — a durable
+// hit decodes the stored bytes instead of re-running the program — and
+// fresh measurements are written through. Context cancellations are NOT
+// memoized: an aborted measurement returns its error to that caller
+// only, and the next caller re-runs the measurement under its own
+// deadline — one impatient request never poisons the cache for everyone
+// else. Deterministic failures (bad program, malformed trace) are
+// memoized like successes.
+func (c *TraceCache) measureLocked(key CacheKey, e *cacheEntry, measure func() (*trace.Trace, error)) (*trace.Trace, error) {
 	if e.measured {
 		return e.tr, e.err
+	}
+	if c.backend != nil {
+		if enc, ok := c.backend.GetTrace(key); ok {
+			if tr, err := trace.ReadBinary(bytes.NewReader(enc)); err == nil {
+				e.tr, e.err, e.measured = tr, nil, true
+				c.settle(key, e)
+				return e.tr, nil
+			}
+			// An artifact that passed the store's checksum but fails to
+			// decode means a format skew, not corruption; fall through to
+			// a fresh measurement (and overwrite it below).
+		}
 	}
 	c.misses.Add(1)
 	tr, err := measure()
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		c.settle(key, e)
 		return nil, err
 	}
 	e.tr, e.err, e.measured = tr, err, true
+	if err == nil && c.backend != nil {
+		var buf bytes.Buffer
+		buf.Grow(int(trace.EncodedSize(tr.Header(), len(tr.Events))))
+		if werr := trace.WriteBinary(&buf, tr); werr == nil {
+			c.backend.PutTrace(key, buf.Bytes())
+		}
+	}
+	c.settle(key, e)
 	return e.tr, e.err
 }
 
 // encodedLocked runs or reuses the memoized measurement in encoded form;
-// the caller holds e.mu. The measured trace is immediately encoded and
-// released — only the compact immutable bytes stay resident. A trace
-// past the size budget is memoized as an ErrTraceTooLarge failure (the
-// measurement is deterministic, so it would exceed the budget every
-// time).
-func (c *TraceCache) encodedLocked(e *cacheEntry, measure func() (*trace.Trace, error)) ([]byte, error) {
+// the caller holds e.mu. A configured backend is consulted before
+// measuring (the stored artifact IS the encoded form, so a durable hit
+// costs no decode at all), and fresh encodings are written through. The
+// measured trace is immediately encoded and released — only the compact
+// immutable bytes stay resident. A trace past the size budget is
+// memoized as an ErrTraceTooLarge failure (the measurement is
+// deterministic, so it would exceed the budget every time) — including
+// one arriving from the backend, whose encoded size is just as
+// deterministic.
+func (c *TraceCache) encodedLocked(key CacheKey, e *cacheEntry, measure func() (*trace.Trace, error)) ([]byte, error) {
 	if e.measured {
 		return e.enc, e.err
+	}
+	if c.backend != nil {
+		if enc, ok := c.backend.GetTrace(key); ok {
+			if c.maxB > 0 && int64(len(enc)) > c.maxB {
+				e.err = fmt.Errorf("%w: %d encoded bytes, budget %d", ErrTraceTooLarge, len(enc), c.maxB)
+			} else {
+				e.enc = enc
+			}
+			e.measured = true
+			c.settle(key, e)
+			return e.enc, e.err
+		}
 	}
 	c.misses.Add(1)
 	tr, err := measure()
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		c.settle(key, e)
 		return nil, err
 	}
 	if err == nil {
@@ -232,6 +325,10 @@ func (c *TraceCache) encodedLocked(e *cacheEntry, measure func() (*trace.Trace, 
 		}
 	}
 	e.err, e.measured = err, true
+	if e.err == nil && c.backend != nil {
+		c.backend.PutTrace(key, e.enc)
+	}
+	c.settle(key, e)
 	return e.enc, e.err
 }
 
@@ -244,7 +341,7 @@ func (c *TraceCache) Encoded(key CacheKey, measure func() (*trace.Trace, error))
 	e := c.entry(key)
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return c.encodedLocked(e, measure)
+	return c.encodedLocked(key, e, measure)
 }
 
 // Measure returns the memoized measurement trace for key, running
@@ -257,13 +354,13 @@ func (c *TraceCache) Measure(key CacheKey, measure func() (*trace.Trace, error))
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if c.encoded {
-		enc, err := c.encodedLocked(e, measure)
+		enc, err := c.encodedLocked(key, e, measure)
 		if err != nil {
 			return nil, err
 		}
 		return trace.ReadBinary(bytes.NewReader(enc))
 	}
-	return c.measureLocked(e, measure)
+	return c.measureLocked(key, e, measure)
 }
 
 // Translated returns the memoized translation of the measurement for
@@ -276,7 +373,7 @@ func (c *TraceCache) Translated(key CacheKey, measure func() (*trace.Trace, erro
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if c.encoded {
-		enc, err := c.encodedLocked(e, measure)
+		enc, err := c.encodedLocked(key, e, measure)
 		if err != nil {
 			return nil, err
 		}
@@ -286,7 +383,7 @@ func (c *TraceCache) Translated(key CacheKey, measure func() (*trace.Trace, erro
 		}
 		return translate.Translate(tr)
 	}
-	tr, err := c.measureLocked(e, measure)
+	tr, err := c.measureLocked(key, e, measure)
 	if err != nil {
 		return nil, err
 	}

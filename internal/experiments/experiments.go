@@ -31,6 +31,12 @@ type Options struct {
 	// Any value produces identical Output — measurement is deterministic
 	// and results are assembled in a fixed order.
 	Workers int
+	// Backend, when non-nil, is a durable tier behind the run's memo
+	// cache (typically a *store.Store): measurements missing from memory
+	// are looked up on disk before being re-run, and fresh measurements
+	// are written through. Repeated runs against the same store replay
+	// at disk speed; results are byte-identical either way.
+	Backend core.TraceBackend
 }
 
 func (o Options) procs() []int {

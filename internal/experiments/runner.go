@@ -26,7 +26,11 @@ type runner struct {
 }
 
 func newRunner(opts Options) *runner {
-	return &runner{opts: opts, cache: core.NewTraceCache()}
+	r := &runner{opts: opts, cache: core.NewTraceCache()}
+	if opts.Backend != nil {
+		r.cache.SetBackend(opts.Backend)
+	}
+	return r
 }
 
 // each runs fn(i) for i in [0, n) on the experiment's worker pool,
@@ -46,6 +50,15 @@ func cacheKey(bench string, size benchmarks.Size, threads int, mopts core.Measur
 		Threads: threads,
 		Opts:    mopts,
 	}
+}
+
+// MeasurementKey is the exported form of the engine's memo-cache key
+// constructor, so layers above the engine (the jobs queue, the artifact
+// store wiring) can address the same measurement the engine will run —
+// the content address of a job cell's trace must be the key the cache
+// would use, or durability would split into two namespaces.
+func MeasurementKey(bench string, size benchmarks.Size, threads int, mopts core.MeasureOptions) core.CacheKey {
+	return cacheKey(bench, size, threads, mopts)
 }
 
 // measured returns the (cached) measurement trace for one benchmark run.

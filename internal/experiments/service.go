@@ -53,6 +53,19 @@ func NewStreamingService(workers, cacheEntries int, maxTraceBytes int64) *Servic
 // served from memory and measurement runs performed.
 func (s *Service) CacheStats() (hits, misses int64) { return s.cache.Stats() }
 
+// SetBackend attaches a durable tier (typically a *store.Store) behind
+// the Service's memo cache: memory misses consult the backend before
+// re-measuring and fresh measurements are written through, so a
+// restarted service replays prior work at disk speed. Attach before the
+// Service starts handling requests; results are byte-identical with or
+// without a backend.
+func (s *Service) SetBackend(b core.TraceBackend) { s.cache.SetBackend(b) }
+
+// Workers reports the sweep fan-out bound the Service was built with
+// (≤ 0 means GOMAXPROCS), so composed components — notably the jobs
+// queue — can match their cell parallelism to the engine's.
+func (s *Service) Workers() int { return s.workers }
+
 // Extrapolate predicts one benchmark configuration on one target
 // environment: measure (or reuse) the threads-thread trace, translate
 // it, and simulate it under cfg. The context bounds every stage,

@@ -1,0 +1,146 @@
+package serve
+
+// The async jobs API: sweeps that outlive the request — and the server
+// process. POST /v1/jobs validates exactly like POST /v1/sweep but
+// returns 202 with a job ID immediately; the jobs manager executes the
+// grid in the background, persisting each cell's result to the artifact
+// store as it lands. GET /v1/jobs/{id} reports progress and, once done,
+// the result — byte-identical to what the synchronous endpoint would
+// have returned. DELETE cancels. A server restarted on the same
+// -store-dir resumes incomplete jobs from their persisted partials.
+//
+// The endpoints require the durable store (-store-dir): an async job
+// whose results vanish with the process would be a slower /v1/sweep
+// with extra steps, so without a store they answer 503 store_disabled.
+
+import (
+	"net/http"
+
+	"extrap/internal/jobs"
+)
+
+// JobSubmitResponse is the 202 body: the ID to poll.
+type JobSubmitResponse struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+}
+
+// JobStatusResponse reports one job's progress. Result is present only
+// once Status is "done".
+type JobStatusResponse struct {
+	ID         string         `json:"id"`
+	Status     string         `json:"status"`
+	Benchmark  string         `json:"benchmark"`
+	Machine    string         `json:"machine"`
+	Size       int            `json:"size"`
+	Iters      int            `json:"iters"`
+	Procs      []int          `json:"procs"`
+	TotalCells int            `json:"total_cells"`
+	DoneCells  int            `json:"done_cells"`
+	Error      string         `json:"error,omitempty"`
+	Result     *SweepResponse `json:"result,omitempty"`
+}
+
+// requireJobs gates the jobs endpoints on the durable store.
+func (s *Server) requireJobs(w http.ResponseWriter) bool {
+	if s.jobs == nil {
+		writeError(w, errf(http.StatusServiceUnavailable, "store_disabled",
+			"async jobs need the durable store; start the server with -store-dir"))
+		return false
+	}
+	return true
+}
+
+// handleJobSubmit serves POST /v1/jobs. The body is a SweepRequest —
+// the same shape, validation, and ceilings as POST /v1/sweep.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	if !s.requireJobs(w) {
+		return
+	}
+	var req SweepRequest
+	if apiErr := decodeJSON(r, &req); apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	b, sz, env, ladder, apiErr := req.resolve()
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	id, err := s.jobs.Submit(jobs.Spec{
+		Benchmark: b.Name(),
+		Size:      sz.N,
+		Iters:     sz.Iters,
+		Machine:   env.Name,
+		Procs:     ladder,
+	})
+	if err != nil {
+		writeError(w, errf(http.StatusServiceUnavailable, "job_rejected", "%v", err))
+		return
+	}
+	s.met.jobsSubmitted.Add(1)
+	writeJSON(w, http.StatusAccepted, JobSubmitResponse{ID: id, Status: string(jobs.StatusQueued)})
+}
+
+// jobResponse renders one job snapshot.
+func jobResponse(snap jobs.Snapshot) JobStatusResponse {
+	resp := JobStatusResponse{
+		ID:         snap.ID,
+		Status:     string(snap.Status),
+		Benchmark:  snap.Spec.Benchmark,
+		Machine:    snap.Spec.Machine,
+		Size:       snap.Spec.Size,
+		Iters:      snap.Spec.Iters,
+		Procs:      snap.Spec.Procs,
+		TotalCells: snap.TotalCells,
+		DoneCells:  snap.DoneCells,
+		Error:      snap.Error,
+	}
+	if snap.Status == jobs.StatusDone {
+		r := buildSweepResponse(snap.Spec.Benchmark, snap.Spec.Machine, snap.Spec.Size, snap.Spec.Iters, snap.Points)
+		resp.Result = &r
+	}
+	return resp
+}
+
+// handleJobGet serves GET /v1/jobs/{id}.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	if !s.requireJobs(w) {
+		return
+	}
+	snap, ok := s.jobs.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, errf(http.StatusNotFound, "unknown_job", "no job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, jobResponse(snap))
+}
+
+// handleJobList serves GET /v1/jobs: all known jobs, without results
+// (poll GET /v1/jobs/{id} for a specific job's result).
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	if !s.requireJobs(w) {
+		return
+	}
+	snaps := s.jobs.List()
+	out := make([]JobStatusResponse, len(snaps))
+	for i, snap := range snaps {
+		out[i] = jobResponse(snap)
+		out[i].Result = nil
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleJobCancel serves DELETE /v1/jobs/{id}. Cancelling a terminal
+// job is a no-op that reports the final state.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	if !s.requireJobs(w) {
+		return
+	}
+	snap, ok := s.jobs.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, errf(http.StatusNotFound, "unknown_job", "no job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, jobResponse(snap))
+}

@@ -1,0 +1,354 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// del sends a DELETE and returns status and body.
+func del(t *testing.T, url string) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// waitJob polls GET /v1/jobs/{id} until the job reaches a terminal
+// status or the deadline passes, and returns the final response body.
+func waitJob(t *testing.T, base, id string) JobStatusResponse {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		status, body := get(t, base+"/v1/jobs/"+id)
+		if status != http.StatusOK {
+			t.Fatalf("GET job %s: status %d: %s", id, status, body)
+		}
+		var resp JobStatusResponse
+		if err := json.Unmarshal([]byte(body), &resp); err != nil {
+			t.Fatalf("GET job %s: bad JSON %q: %v", id, body, err)
+		}
+		switch resp.Status {
+		case "done", "failed", "cancelled":
+			return resp
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish within deadline", id)
+	return JobStatusResponse{}
+}
+
+// TestJobsRequireStore: without -store-dir the async jobs endpoints
+// answer 503 store_disabled rather than pretending to be durable.
+func TestJobsRequireStore(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	type result struct {
+		status int
+		body   string
+	}
+	var checks []result
+	s, b := post(t, ts.URL+"/v1/jobs", `{"benchmark":"grid","machine":"cm5"}`)
+	checks = append(checks, result{s, b})
+	s, b = get(t, ts.URL+"/v1/jobs")
+	checks = append(checks, result{s, b})
+	s, b = get(t, ts.URL+"/v1/jobs/j-00")
+	checks = append(checks, result{s, b})
+	s, b = del(t, ts.URL+"/v1/jobs/j-00")
+	checks = append(checks, result{s, b})
+	for i, c := range checks {
+		if c.status != http.StatusServiceUnavailable || !strings.Contains(c.body, "store_disabled") {
+			t.Errorf("endpoint %d: status %d body %s, want 503 store_disabled", i, c.status, c.body)
+		}
+	}
+}
+
+// TestJobLifecycleByteIdentical is the jobs acceptance test: a job
+// submitted through POST /v1/jobs must complete with a result
+// byte-identical to the synchronous POST /v1/sweep response for the
+// same request.
+func TestJobLifecycleByteIdentical(t *testing.T) {
+	_, ts := newTestServer(t, Config{StoreDir: t.TempDir(), Workers: 2})
+
+	body := `{"benchmark":"grid","size":16,"iters":4,"machine":"cm5","procs":[1,2,4]}`
+	status, syncBody := post(t, ts.URL+"/v1/sweep", body)
+	if status != http.StatusOK {
+		t.Fatalf("sync sweep: status %d: %s", status, syncBody)
+	}
+
+	status, subBody := post(t, ts.URL+"/v1/jobs", body)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", status, subBody)
+	}
+	var sub JobSubmitResponse
+	if err := json.Unmarshal([]byte(subBody), &sub); err != nil {
+		t.Fatalf("submit body %q: %v", subBody, err)
+	}
+	if sub.ID == "" || sub.Status != "queued" {
+		t.Fatalf("submit response %+v", sub)
+	}
+
+	final := waitJob(t, ts.URL, sub.ID)
+	if final.Status != "done" || final.Error != "" {
+		t.Fatalf("job finished %+v", final)
+	}
+	if final.TotalCells != 3 || final.DoneCells != 3 {
+		t.Errorf("cells = %d/%d, want 3/3", final.DoneCells, final.TotalCells)
+	}
+	if final.Result == nil {
+		t.Fatal("done job has no result")
+	}
+	async, err := json.Marshal(final.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(async) != strings.TrimSpace(syncBody) {
+		t.Errorf("async result differs from sync sweep:\n%s\nvs\n%s", async, strings.TrimSpace(syncBody))
+	}
+
+	// The list endpoint knows the job but strips results.
+	status, listBody := get(t, ts.URL+"/v1/jobs")
+	if status != http.StatusOK || !strings.Contains(listBody, sub.ID) {
+		t.Errorf("list: status %d body %s", status, listBody)
+	}
+	if strings.Contains(listBody, `"result"`) {
+		t.Errorf("list leaks results: %s", listBody)
+	}
+}
+
+// TestJobValidation: POST /v1/jobs applies the same request validation
+// as the synchronous endpoint, and unknown job IDs 404.
+func TestJobValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{StoreDir: t.TempDir()})
+
+	status, body := post(t, ts.URL+"/v1/jobs", `{"benchmark":"nope","machine":"cm5"}`)
+	if status != http.StatusBadRequest || !strings.Contains(body, "unknown_benchmark") {
+		t.Errorf("bad benchmark: status %d body %s", status, body)
+	}
+	status, body = post(t, ts.URL+"/v1/jobs", `{"benchmark":"grid","machine":"cm5","procs":[0]}`)
+	if status != http.StatusBadRequest || !strings.Contains(body, "invalid_procs") {
+		t.Errorf("bad procs: status %d body %s", status, body)
+	}
+	if status, body = get(t, ts.URL+"/v1/jobs/j-missing"); status != http.StatusNotFound || !strings.Contains(body, "unknown_job") {
+		t.Errorf("get unknown: status %d body %s", status, body)
+	}
+	if status, body = del(t, ts.URL+"/v1/jobs/j-missing"); status != http.StatusNotFound || !strings.Contains(body, "unknown_job") {
+		t.Errorf("cancel unknown: status %d body %s", status, body)
+	}
+}
+
+// TestJobResultSurvivesRestart: a completed job must still be readable
+// — with a byte-identical result — from a fresh server opened on the
+// same store directory, without re-running the sweep.
+func TestJobResultSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, Config{StoreDir: dir})
+
+	body := `{"benchmark":"grid","size":16,"iters":4,"machine":"cm5","procs":[1,2]}`
+	status, subBody := post(t, ts1.URL+"/v1/jobs", body)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", status, subBody)
+	}
+	var sub JobSubmitResponse
+	if err := json.Unmarshal([]byte(subBody), &sub); err != nil {
+		t.Fatal(err)
+	}
+	first := waitJob(t, ts1.URL, sub.ID)
+	if first.Status != "done" {
+		t.Fatalf("job finished %+v", first)
+	}
+	wantResult, err := json.Marshal(first.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ts1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts2 := newTestServer(t, Config{StoreDir: dir})
+	second := waitJob(t, ts2.URL, sub.ID)
+	if second.Status != "done" {
+		t.Fatalf("restarted job state %+v", second)
+	}
+	gotResult, err := json.Marshal(second.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotResult) != string(wantResult) {
+		t.Errorf("result changed across restart:\n%s\nvs\n%s", gotResult, wantResult)
+	}
+}
+
+// TestVarsStoreJobsCounters: with a store open, /debug/vars exposes the
+// store and jobs counter submaps with sane values.
+func TestVarsStoreJobsCounters(t *testing.T) {
+	_, ts := newTestServer(t, Config{StoreDir: t.TempDir()})
+
+	body := `{"benchmark":"grid","size":16,"iters":4,"machine":"cm5","procs":[1,2]}`
+	status, subBody := post(t, ts.URL+"/v1/jobs", body)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", status, subBody)
+	}
+	var sub JobSubmitResponse
+	if err := json.Unmarshal([]byte(subBody), &sub); err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, ts.URL, sub.ID)
+
+	status, varsBody := get(t, ts.URL+"/debug/vars")
+	if status != http.StatusOK {
+		t.Fatalf("vars: status %d", status)
+	}
+	var vars struct {
+		ExtrapServe struct {
+			Store map[string]int64 `json:"store"`
+			Jobs  map[string]int64 `json:"jobs"`
+		} `json:"extrap_serve"`
+	}
+	if err := json.Unmarshal([]byte(varsBody), &vars); err != nil {
+		t.Fatalf("vars JSON: %v\n%s", err, varsBody)
+	}
+	st, jb := vars.ExtrapServe.Store, vars.ExtrapServe.Jobs
+	if st == nil || jb == nil {
+		t.Fatalf("missing store/jobs submaps:\n%s", varsBody)
+	}
+	if st["puts"] < 1 || st["objects"] < 1 || st["bytes"] < 1 {
+		t.Errorf("store counters %+v, want puts/objects/bytes ≥ 1", st)
+	}
+	if jb["done"] != 1 || jb["submitted"] != 1 {
+		t.Errorf("jobs counters %+v, want done=1 submitted=1", jb)
+	}
+	if jb["cells_loaded"]+jb["cells_computed"] != 2 {
+		t.Errorf("jobs counters %+v, want loaded+computed = 2", jb)
+	}
+}
+
+// TestCorruptArtifactRecomputedThroughServer: flip bytes in every
+// stored artifact, restart the server on the directory, and re-run the
+// same sweep. The corrupt artifacts must be detected and quarantined —
+// never decoded into a response — and the recomputed answer must be
+// byte-identical to the original.
+func TestCorruptArtifactRecomputedThroughServer(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, Config{StoreDir: dir})
+
+	body := `{"benchmark":"grid","size":16,"iters":4,"machine":"cm5","procs":[1,2]}`
+	status, want := post(t, ts1.URL+"/v1/sweep", body)
+	if status != http.StatusOK {
+		t.Fatalf("first sweep: status %d: %s", status, want)
+	}
+	ts1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte deep inside every artifact payload.
+	arts, err := filepath.Glob(filepath.Join(dir, "objects", "*", "*.art"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) == 0 {
+		t.Fatal("no artifacts persisted by first sweep")
+	}
+	for _, p := range arts {
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)-1] ^= 0xFF
+		if err := os.WriteFile(p, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	_, ts2 := newTestServer(t, Config{StoreDir: dir})
+	status, got := post(t, ts2.URL+"/v1/sweep", body)
+	if status != http.StatusOK {
+		t.Fatalf("sweep after corruption: status %d: %s", status, got)
+	}
+	if got != want {
+		t.Errorf("recomputed sweep differs from original:\n%s\nvs\n%s", got, want)
+	}
+
+	_, varsBody := get(t, ts2.URL+"/debug/vars")
+	var vars struct {
+		ExtrapServe struct {
+			Store map[string]int64 `json:"store"`
+		} `json:"extrap_serve"`
+	}
+	if err := json.Unmarshal([]byte(varsBody), &vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars.ExtrapServe.Store["corruptions"] < 1 {
+		t.Errorf("store counters %+v, want corruptions ≥ 1", vars.ExtrapServe.Store)
+	}
+	quarantined, err := filepath.Glob(filepath.Join(dir, "quarantine", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quarantined) == 0 {
+		t.Error("no artifacts quarantined after corruption")
+	}
+}
+
+// TestJobCancel: a running job can be cancelled over HTTP and settles
+// in the cancelled state; cancelling a terminal job is a no-op.
+func TestJobCancel(t *testing.T) {
+	srv, ts := newTestServer(t, Config{StoreDir: t.TempDir()})
+
+	// Freeze the job at its first cell so the cancel races nothing.
+	frozen := make(chan struct{})
+	release := make(chan struct{})
+	var once bool
+	srv.jobs.SetCellHook(func(string, int) {
+		if !once {
+			once = true
+			close(frozen)
+			<-release
+		}
+	})
+
+	body := `{"benchmark":"grid","size":16,"iters":4,"machine":"cm5","procs":[1,2,4]}`
+	status, subBody := post(t, ts.URL+"/v1/jobs", body)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", status, subBody)
+	}
+	var sub JobSubmitResponse
+	if err := json.Unmarshal([]byte(subBody), &sub); err != nil {
+		t.Fatal(err)
+	}
+	<-frozen
+
+	status, cancelBody := del(t, ts.URL+"/v1/jobs/"+sub.ID)
+	if status != http.StatusOK {
+		t.Fatalf("cancel: status %d: %s", status, cancelBody)
+	}
+	close(release)
+
+	final := waitJob(t, ts.URL, sub.ID)
+	if final.Status != "cancelled" {
+		t.Fatalf("after cancel: %+v", final)
+	}
+	// Cancelling again reports the terminal state without error.
+	status, again := del(t, ts.URL+"/v1/jobs/"+sub.ID)
+	if status != http.StatusOK || !strings.Contains(again, "cancelled") {
+		t.Errorf("re-cancel: status %d body %s", status, again)
+	}
+}

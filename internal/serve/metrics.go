@@ -21,18 +21,33 @@ type metricsSet struct {
 	latencyUs   *expvar.Int // cumulative handler wall time, µs
 	cacheHits   *expvar.Int // trace-cache lookups served from memory
 	cacheMisses *expvar.Int // measurement runs performed
+
+	jobsSubmitted *expvar.Int // jobs accepted via POST /v1/jobs
+	storeVars     *expvar.Map // artifact store hit/miss/evict/corrupt (set when a store is open)
+	jobsVars      *expvar.Map // jobs queued/running/done/failed (set when jobs are enabled)
 }
 
 func newMetricsSet() *metricsSet {
 	return &metricsSet{
-		requests:    new(expvar.Map).Init(),
-		statuses:    new(expvar.Map).Init(),
-		rejected:    new(expvar.Int),
-		inflight:    new(expvar.Int),
-		latencyUs:   new(expvar.Int),
-		cacheHits:   new(expvar.Int),
-		cacheMisses: new(expvar.Int),
+		requests:      new(expvar.Map).Init(),
+		statuses:      new(expvar.Map).Init(),
+		rejected:      new(expvar.Int),
+		inflight:      new(expvar.Int),
+		latencyUs:     new(expvar.Int),
+		cacheHits:     new(expvar.Int),
+		cacheMisses:   new(expvar.Int),
+		jobsSubmitted: new(expvar.Int),
+		storeVars:     new(expvar.Map).Init(),
+		jobsVars:      new(expvar.Map).Init(),
 	}
+}
+
+// setInt upserts an *expvar.Int value in a map (expvar.Map has no typed
+// getter, so keep the upsert in one place).
+func setInt(m *expvar.Map, key string, v int64) {
+	i := new(expvar.Int)
+	i.Set(v)
+	m.Set(key, i)
 }
 
 // vars assembles the set as one expvar.Map for rendering.
@@ -56,8 +71,36 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 	s.met.cacheHits.Set(hits)
 	s.met.cacheMisses.Set(misses)
 
+	root := s.met.vars()
+	if s.store != nil {
+		st := s.store.Stats()
+		sv := s.met.storeVars
+		setInt(sv, "hits", st.Hits)
+		setInt(sv, "misses", st.Misses)
+		setInt(sv, "evictions", st.Evictions)
+		setInt(sv, "corruptions", st.Corruptions)
+		setInt(sv, "puts", st.Puts)
+		setInt(sv, "put_errors", st.PutErrors)
+		setInt(sv, "objects", st.Objects)
+		setInt(sv, "bytes", st.Bytes)
+		root.Set("store", sv)
+	}
+	if s.jobs != nil {
+		jt := s.jobs.Stats()
+		jv := s.met.jobsVars
+		setInt(jv, "queued", jt.Queued)
+		setInt(jv, "running", jt.Running)
+		setInt(jv, "done", jt.Done)
+		setInt(jv, "failed", jt.Failed)
+		setInt(jv, "cancelled", jt.Cancelled)
+		setInt(jv, "cells_loaded", jt.CellsLoaded)
+		setInt(jv, "cells_computed", jt.CellsComputed)
+		jv.Set("submitted", s.met.jobsSubmitted)
+		root.Set("jobs", jv)
+	}
+
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	fmt.Fprintf(w, "{\n%q: %s", "extrap_serve", s.met.vars().String())
+	fmt.Fprintf(w, "{\n%q: %s", "extrap_serve", root.String())
 	expvar.Do(func(kv expvar.KeyValue) {
 		fmt.Fprintf(w, ",\n%q: %s", kv.Key, kv.Value.String())
 	})

@@ -28,15 +28,18 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"path/filepath"
 	"strconv"
 	"time"
 
 	"extrap/internal/benchmarks"
 	"extrap/internal/core"
 	"extrap/internal/experiments"
+	"extrap/internal/jobs"
 	"extrap/internal/machine"
 	"extrap/internal/metrics"
 	"extrap/internal/pcxx"
+	"extrap/internal/store"
 )
 
 // Config shapes a Server.
@@ -66,6 +69,19 @@ type Config struct {
 	// this budget, times CacheEntries, bounds cache memory. 0 selects
 	// the default of 256 MiB; < 0 disables the budget.
 	MaxTraceBytes int64
+	// StoreDir, when non-empty, roots the durable artifact store:
+	// measurement traces and job cell results persist there (content-
+	// addressed, checksummed), the measurement cache reads through to it,
+	// and the async jobs API (POST /v1/jobs) is enabled with job state
+	// under StoreDir/jobs. Empty disables both — the server is then
+	// purely in-memory, and the jobs endpoints answer 503.
+	StoreDir string
+	// StoreBytes bounds the artifact store's on-disk footprint; least
+	// recently used artifacts are evicted past it. ≤ 0 means unlimited.
+	StoreBytes int64
+	// JobWorkers bounds concurrently executing async jobs; ≤ 0 selects 1.
+	// Each job additionally fans its grid cells across Workers.
+	JobWorkers int
 	// EnablePprof mounts net/http/pprof handlers under /debug/pprof/.
 	EnablePprof bool
 	// ShutdownGrace bounds how long Serve waits for in-flight requests
@@ -78,15 +94,23 @@ type Config struct {
 
 // Server is the extrapolation service.
 type Server struct {
-	cfg Config
-	svc *experiments.Service
-	lim *limiter
-	met *metricsSet
-	log *slog.Logger
+	cfg   Config
+	svc   *experiments.Service
+	lim   *limiter
+	met   *metricsSet
+	log   *slog.Logger
+	store *store.Store  // nil unless StoreDir is set
+	jobs  *jobs.Manager // nil unless StoreDir is set
 }
 
-// New returns a Server with cfg's zero fields defaulted.
-func New(cfg Config) *Server {
+// New returns a Server with cfg's zero fields defaulted. With a
+// StoreDir it opens the durable artifact store (warm-starting from
+// whatever a previous process persisted), plugs it behind the
+// measurement cache, and starts the async jobs manager — which
+// immediately re-enqueues any jobs a previous process left incomplete.
+// Call Close when done to stop the background goroutines and persist
+// the store index.
+func New(cfg Config) (*Server, error) {
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = 32
 	}
@@ -102,17 +126,54 @@ func New(cfg Config) *Server {
 	if cfg.MaxTraceBytes == 0 {
 		cfg.MaxTraceBytes = 256 << 20
 	}
+	if cfg.JobWorkers <= 0 {
+		cfg.JobWorkers = 1
+	}
 	logger := cfg.Logger
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
-	return &Server{
+	s := &Server{
 		cfg: cfg,
 		svc: experiments.NewStreamingService(cfg.Workers, cfg.CacheEntries, cfg.MaxTraceBytes),
 		lim: newLimiter(cfg.MaxInFlight, cfg.QueueWait),
 		met: newMetricsSet(),
 		log: logger,
 	}
+	if cfg.StoreDir != "" {
+		st, err := store.Open(cfg.StoreDir, cfg.StoreBytes)
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+		s.svc.SetBackend(st)
+		mgr, err := jobs.Open(jobs.Config{
+			Dir:     filepath.Join(cfg.StoreDir, "jobs"),
+			Service: s.svc,
+			Store:   st,
+			Workers: cfg.JobWorkers,
+		})
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		s.jobs = mgr
+	}
+	return s, nil
+}
+
+// Close stops the jobs manager (running jobs stay persisted as running
+// and resume on the next New with the same StoreDir) and closes the
+// artifact store, persisting its index. Safe to call on a server
+// without a store; not safe to use the server afterwards.
+func (s *Server) Close() error {
+	if s.jobs != nil {
+		s.jobs.Close()
+	}
+	if s.store != nil {
+		return s.store.Close()
+	}
+	return nil
 }
 
 // Handler returns the service's routes behind the logging/metrics
@@ -121,6 +182,10 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/extrapolate", s.limited(s.handleExtrapolate))
 	mux.HandleFunc("POST /v1/sweep", s.limited(s.handleSweep))
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("GET /v1/machines", s.handleMachines)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
@@ -277,13 +342,22 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, pipelineError(err))
 		return
 	}
+	writeJSON(w, http.StatusOK, buildSweepResponse(b.Name(), env.Name, sz.N, sz.Iters, points))
+}
+
+// buildSweepResponse renders a sweep series. It is the single rendering
+// path for both the synchronous /v1/sweep handler and completed async
+// jobs, so a job's result is byte-identical to the synchronous response
+// for the same request — the durability contract the store guarantees
+// for the numbers extends through the JSON encoding.
+func buildSweepResponse(bench, machineName string, size, iters int, points []metrics.Point) SweepResponse {
 	speedups := metrics.Speedup(points)
 	effs := metrics.Efficiency(points)
 	resp := SweepResponse{
-		Benchmark: b.Name(),
-		Machine:   env.Name,
-		Size:      sz.N,
-		Iters:     sz.Iters,
+		Benchmark: bench,
+		Machine:   machineName,
+		Size:      size,
+		Iters:     iters,
 		Points:    make([]SweepPoint, len(points)),
 	}
 	for i, p := range points {
@@ -294,7 +368,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			Efficiency:  effs[i],
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp
 }
 
 // handleBenchmarks serves GET /v1/benchmarks.

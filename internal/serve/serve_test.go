@@ -22,7 +22,11 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -375,7 +379,11 @@ func TestPprofGating(t *testing.T) {
 // TestGracefulShutdown: cancelling the serve context drains and returns
 // nil; the listener stops accepting afterward.
 func TestGracefulShutdown(t *testing.T) {
-	s := New(Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	s, err := New(Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,78 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzIndexDecode hammers the advisory-index decoder with arbitrary
+// bytes. The properties under test are the untrusted-input discipline:
+// the decoder must never panic, never accept more than maxIndexEntries,
+// and a successful decode must re-encode to an equivalent index (the
+// format has one canonical meaning). Seeds cover the hostile shapes the
+// unit tests check — huge declared counts, truncation, trailing bytes —
+// so the fuzzer starts at the interesting boundaries.
+func FuzzIndexDecode(f *testing.F) {
+	valid := encodeIndex([]object{
+		{hash: KeyHash("seed-a"), size: 128, seq: 1},
+		{hash: KeyHash("seed-b"), size: 1 << 20, seq: 7},
+	})
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("XIDX1"))
+	f.Add(valid[:len(valid)-5])
+	f.Add(append(append([]byte{}, valid...), 0xFF))
+	huge := append([]byte{}, valid...)
+	binary.LittleEndian.PutUint32(huge[5:9], 0xFFFFFFFF)
+	f.Add(huge)
+	overCap := append([]byte{}, valid...)
+	binary.LittleEndian.PutUint32(overCap[5:9], maxIndexEntries+1)
+	f.Add(overCap)
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		idx, err := decodeIndex(raw)
+		if err != nil {
+			return
+		}
+		if len(idx) > maxIndexEntries {
+			t.Fatalf("decoder accepted %d entries past the cap", len(idx))
+		}
+		objs := make([]object, 0, len(idx))
+		for h, m := range idx {
+			objs = append(objs, object{hash: h, size: m.size, seq: m.seq})
+		}
+		re, err := decodeIndex(encodeIndex(objs))
+		if err != nil {
+			t.Fatalf("re-encoded index does not decode: %v", err)
+		}
+		if len(re) != len(idx) {
+			t.Fatalf("round trip changed entry count: %d → %d", len(idx), len(re))
+		}
+		for h, m := range idx {
+			if got, ok := re[h]; !ok || got != m {
+				t.Fatalf("round trip changed entry %x: %+v → %+v", h[:4], m, got)
+			}
+		}
+		// And the fixed point: decoding canonical bytes of a decoded
+		// index must reproduce the same canonical bytes.
+		if raw2 := canonicalBytes(re); !bytes.Equal(canonicalBytes(idx), raw2) {
+			t.Fatal("canonical re-encoding is not a fixed point")
+		}
+	})
+}
+
+// canonicalBytes re-encodes an index map in sorted-hash order so two
+// equivalent maps compare byte-equal.
+func canonicalBytes(idx map[[32]byte]indexMeta) []byte {
+	objs := make([]object, 0, len(idx))
+	for h, m := range idx {
+		objs = append(objs, object{hash: h, size: m.size, seq: m.seq})
+	}
+	for i := 1; i < len(objs); i++ {
+		for j := i; j > 0 && bytes.Compare(objs[j].hash[:], objs[j-1].hash[:]) < 0; j-- {
+			objs[j], objs[j-1] = objs[j-1], objs[j]
+		}
+	}
+	return encodeIndex(objs)
+}

@@ -1,0 +1,561 @@
+// Package store implements a content-addressed, checksummed, on-disk
+// artifact store for the expensive products of the extrapolation
+// pipeline: encoded XTRP1 measurement traces and serialized prediction
+// results. It is the durable tier behind core.TraceCache — memory in
+// front, disk behind, one measurement pipeline — so a restarted server
+// (or a repeated CLI run pointed at the same directory) replays work it
+// has already done at disk speed instead of re-simulating it.
+//
+// # Key scheme
+//
+// Artifacts are addressed by content of their INPUTS, not of their
+// bytes: the address is the SHA-256 of a canonical string spelling out
+// every input that determines the artifact. The canonical encodings are
+// version-locked in internal/core:
+//
+//   - "trace/v1|bench=…|n=…|iters=…|verify=…|threads=…|flop=…|…|seed=…"
+//     (core.CacheKey.Canonical) addresses one deterministic measurement
+//     run — program identity, size parameters, thread count, and the
+//     full measurement options.
+//   - "cfg/v1|procs=…|mips=…|policy=…|comm=…|barrier=…|…"
+//     (core.CanonicalConfig) encodes one simulation configuration.
+//   - "pred/v1|<trace/v1…>|<cfg/v1…>" (core.CanonicalPrediction)
+//     addresses one prediction: a pure function of (measurement,
+//     configuration).
+//
+// Because measurement and simulation are seeded and deterministic,
+// equal canonical strings imply byte-identical artifacts; the store
+// never has to compare payloads to decide freshness. The flip side is
+// that the canonical encoding is a compatibility contract: changing it
+// orphans every artifact ever written. A golden test in this package
+// locks the format against committed fixtures; bump the embedded
+// version component ("/v1") to migrate deliberately.
+//
+// # On-disk layout
+//
+//	<dir>/objects/<hh>/<hash>.art   one artifact (hh = first hex byte)
+//	<dir>/quarantine/<hash>.art     artifacts that failed verification
+//	<dir>/index                     advisory recency index (see index.go)
+//
+// Each .art file carries a header binding it to its key and payload:
+// magic "XART1", the 32-byte key hash, the payload length, and the
+// payload's own SHA-256. Get re-verifies all of it on every read; any
+// mismatch (truncation, flipped byte, wrong key) moves the file to
+// quarantine/ and reports a miss, so a corrupt artifact is recomputed
+// and never served. Writes go to a temp file in the same directory and
+// are renamed into place, so a crash can leave stray temp files but
+// never a half-written artifact under a final name.
+//
+// The index is advisory: it persists LRU recency and sizes so eviction
+// order survives restarts, but the directory scan on Open is the source
+// of truth for which artifacts exist. A missing or corrupt index is
+// rebuilt, never trusted.
+package store
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"extrap/internal/core"
+)
+
+var artifactMagic = [5]byte{'X', 'A', 'R', 'T', '1'}
+
+const (
+	// artifactHeaderSize is the fixed prefix of every .art file:
+	// magic[5] + keyhash[32] + paylen uint64 + paysum[32].
+	artifactHeaderSize = 5 + 32 + 8 + 32
+
+	// maxArtifactBytes caps how large an artifact file the store will
+	// read back. Files are written by this process, but the directory
+	// is still treated as semi-trusted input after a restart: a file
+	// grown by corruption or tampering is quarantined, not slurped.
+	maxArtifactBytes = 1 << 32
+
+	// flushInterval is how often the background goroutine persists a
+	// dirty index. Close always flushes, so the interval only bounds
+	// how much recency information a crash can lose — and the index is
+	// advisory anyway.
+	flushInterval = 2 * time.Second
+)
+
+// object is one resident artifact's bookkeeping: its content address,
+// its on-disk size, and its recency stamp (persisted in the index so
+// eviction order survives restarts).
+type object struct {
+	hash [32]byte
+	size int64
+	seq  uint64
+}
+
+// Stats is a point-in-time snapshot of store traffic and occupancy.
+type Stats struct {
+	Hits        int64 // Get served a verified artifact
+	Misses      int64 // Get found nothing (or nothing servable)
+	Evictions   int64 // artifacts removed by the byte-budget LRU
+	Corruptions int64 // artifacts that failed verification and were quarantined
+	Puts        int64 // artifacts written
+	PutErrors   int64 // writes that failed (durability lost, correctness kept)
+	Objects     int64 // artifacts currently resident
+	Bytes       int64 // total on-disk bytes of resident artifacts
+}
+
+// Store is a content-addressed artifact store with an LRU byte budget.
+// It is safe for concurrent use and implements core.TraceBackend, so it
+// plugs directly behind a TraceCache via SetBackend.
+type Store struct {
+	dir      string
+	maxBytes int64 // 0 = unlimited
+
+	mu      sync.Mutex
+	objects map[[32]byte]*list.Element
+	order   *list.List // front = most recently used; values are *object
+	bytes   int64
+	seq     uint64
+	dirty   bool
+	closed  bool
+
+	evictCh chan struct{}
+	done    chan struct{}
+	wg      sync.WaitGroup
+
+	hits        atomic.Int64
+	misses      atomic.Int64
+	evictions   atomic.Int64
+	corruptions atomic.Int64
+	puts        atomic.Int64
+	putErrors   atomic.Int64
+}
+
+// Open opens (creating if needed) the artifact store rooted at dir,
+// keeping at most maxBytes of artifacts on disk (0 = unlimited). It
+// loads the advisory index, scans the object directory to reconcile it
+// with reality, and starts the background eviction/flush goroutine.
+// Call Close to stop the goroutine and persist the index.
+func Open(dir string, maxBytes int64) (*Store, error) {
+	for _, sub := range []string{objectsDirName, quarantineDirName} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: create %s: %w", sub, err)
+		}
+	}
+	s := &Store{
+		dir:      dir,
+		maxBytes: maxBytes,
+		objects:  make(map[[32]byte]*list.Element),
+		order:    list.New(),
+		evictCh:  make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+	if err := s.warmStart(); err != nil {
+		return nil, err
+	}
+	s.wg.Add(1)
+	go s.loop()
+	// A budget smaller than what survived the restart trims eagerly.
+	s.signalEvict()
+	return s, nil
+}
+
+const (
+	objectsDirName    = "objects"
+	quarantineDirName = "quarantine"
+	indexFileName     = "index"
+)
+
+// warmStart rebuilds the resident set: the directory scan decides WHICH
+// artifacts exist and how big they are; the advisory index only
+// contributes recency stamps for hashes it knows. Unknown artifacts
+// (index lost or stale) enter as least recently used.
+func (s *Store) warmStart() error {
+	// Reclaim index temp files left by a crash mid-flush.
+	if strays, err := filepath.Glob(filepath.Join(s.dir, "index-*.tmp")); err == nil {
+		for _, p := range strays {
+			os.Remove(p)
+		}
+	}
+	recency := map[[32]byte]uint64{}
+	if raw, err := os.ReadFile(filepath.Join(s.dir, indexFileName)); err == nil {
+		if idx, derr := decodeIndex(raw); derr == nil {
+			for h, meta := range idx {
+				recency[h] = meta.seq
+			}
+		}
+		// A corrupt index is rebuilt from the scan — by design, not an
+		// error: the index is a hint, the directory is the truth.
+	}
+
+	type scanned struct {
+		obj  object
+		path string
+	}
+	var found []scanned
+	root := filepath.Join(s.dir, objectsDirName)
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		name := d.Name()
+		if filepath.Ext(name) != ".art" {
+			// Stray temp file from a crashed write; reclaim it.
+			os.Remove(path)
+			return nil
+		}
+		var h [32]byte
+		raw, derr := hex.DecodeString(name[:len(name)-len(".art")])
+		if derr != nil || len(raw) != 32 {
+			os.Remove(path)
+			return nil
+		}
+		copy(h[:], raw)
+		info, ierr := d.Info()
+		if ierr != nil {
+			return nil
+		}
+		found = append(found, scanned{object{hash: h, size: info.Size(), seq: recency[h]}, path})
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("store: scan objects: %w", err)
+	}
+
+	// Insert oldest-first so the recency list ends up back-to-front.
+	for i := 1; i < len(found); i++ {
+		for j := i; j > 0 && found[j].obj.seq < found[j-1].obj.seq; j-- {
+			found[j], found[j-1] = found[j-1], found[j]
+		}
+	}
+	for _, f := range found {
+		o := f.obj
+		s.objects[o.hash] = s.order.PushFront(&object{hash: o.hash, size: o.size, seq: o.seq})
+		s.bytes += o.size
+		if o.seq > s.seq {
+			s.seq = o.seq
+		}
+	}
+	return nil
+}
+
+// KeyHash returns the store's content address for a canonical key
+// string: its SHA-256.
+func KeyHash(key string) [32]byte { return sha256.Sum256([]byte(key)) }
+
+func (s *Store) objectPath(h [32]byte) string {
+	name := hex.EncodeToString(h[:])
+	return filepath.Join(s.dir, objectsDirName, name[:2], name+".art")
+}
+
+func (s *Store) quarantinePath(h [32]byte) string {
+	return filepath.Join(s.dir, quarantineDirName, hex.EncodeToString(h[:])+".art")
+}
+
+// Get returns the verified payload stored under key, or (nil, false).
+// Corruption of any kind — truncation, checksum mismatch, a file bound
+// to a different key — quarantines the artifact and reports a miss, so
+// callers recompute instead of consuming bad bytes.
+func (s *Store) Get(key string) ([]byte, bool) {
+	h := KeyHash(key)
+	s.mu.Lock()
+	el, ok := s.objects[h]
+	if ok {
+		s.touchLocked(el)
+	}
+	s.mu.Unlock()
+	if !ok {
+		s.misses.Add(1)
+		return nil, false
+	}
+
+	payload, err := readArtifact(s.objectPath(h), h)
+	if err != nil {
+		s.drop(h)
+		if errors.Is(err, fs.ErrNotExist) {
+			// Lost a race with eviction (or the file vanished); nothing
+			// to quarantine.
+			s.misses.Add(1)
+			return nil, false
+		}
+		s.corruptions.Add(1)
+		s.misses.Add(1)
+		os.Rename(s.objectPath(h), s.quarantinePath(h))
+		return nil, false
+	}
+	s.hits.Add(1)
+	return payload, true
+}
+
+// Put stores payload under key, atomically (temp file + rename). A key
+// already resident is a no-op: artifacts are deterministic functions of
+// their key, so the resident bytes are already correct. Put failures
+// lose durability, never correctness — the error is returned for
+// logging and counted in Stats, and the caller's in-memory result is
+// unaffected.
+func (s *Store) Put(key string, payload []byte) error {
+	h := KeyHash(key)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("store: closed")
+	}
+	if el, ok := s.objects[h]; ok {
+		s.touchLocked(el)
+		s.dirty = true
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+
+	size, err := writeArtifact(s.objectPath(h), h, payload)
+	if err != nil {
+		s.putErrors.Add(1)
+		return fmt.Errorf("store: put: %w", err)
+	}
+
+	s.mu.Lock()
+	if _, ok := s.objects[h]; !ok {
+		s.seq++
+		s.objects[h] = s.order.PushFront(&object{hash: h, size: size, seq: s.seq})
+		s.bytes += size
+		s.dirty = true
+	}
+	over := s.maxBytes > 0 && s.bytes > s.maxBytes
+	s.mu.Unlock()
+
+	s.puts.Add(1)
+	if over {
+		s.signalEvict()
+	}
+	return nil
+}
+
+// GetTrace and PutTrace adapt the store to core.TraceBackend, so a
+// *Store plugs directly behind a TraceCache.
+func (s *Store) GetTrace(key core.CacheKey) ([]byte, bool) { return s.Get(key.Canonical()) }
+
+// PutTrace implements core.TraceBackend; see Put for semantics.
+func (s *Store) PutTrace(key core.CacheKey, enc []byte) { s.Put(key.Canonical(), enc) }
+
+// touchLocked refreshes an object's recency; the caller holds s.mu.
+func (s *Store) touchLocked(el *list.Element) {
+	s.seq++
+	el.Value.(*object).seq = s.seq
+	s.order.MoveToFront(el)
+	s.dirty = true
+}
+
+// drop removes an object from the resident set (not the disk).
+func (s *Store) drop(h [32]byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.objects[h]; ok {
+		s.bytes -= el.Value.(*object).size
+		s.order.Remove(el)
+		delete(s.objects, h)
+		s.dirty = true
+	}
+}
+
+func (s *Store) signalEvict() {
+	select {
+	case s.evictCh <- struct{}{}:
+	default:
+	}
+}
+
+// loop is the background goroutine: it trims past-budget artifacts and
+// periodically persists a dirty index.
+func (s *Store) loop() {
+	defer s.wg.Done()
+	t := time.NewTicker(flushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-s.evictCh:
+			s.evictToBudget()
+		case <-t.C:
+			s.flushIfDirty()
+		}
+	}
+}
+
+// evictToBudget removes least-recently-used artifacts until the byte
+// budget is met. File removal happens outside the lock; a concurrent
+// Get that already looked the object up simply misses on read.
+func (s *Store) evictToBudget() {
+	for {
+		s.mu.Lock()
+		if s.maxBytes <= 0 || s.bytes <= s.maxBytes || s.order.Len() == 0 {
+			s.mu.Unlock()
+			return
+		}
+		el := s.order.Back()
+		o := el.Value.(*object)
+		s.bytes -= o.size
+		s.order.Remove(el)
+		delete(s.objects, o.hash)
+		s.dirty = true
+		s.mu.Unlock()
+
+		os.Remove(s.objectPath(o.hash))
+		s.evictions.Add(1)
+	}
+}
+
+func (s *Store) flushIfDirty() {
+	s.mu.Lock()
+	if !s.dirty {
+		s.mu.Unlock()
+		return
+	}
+	idx := s.snapshotIndexLocked()
+	s.dirty = false
+	s.mu.Unlock()
+
+	if err := writeIndex(filepath.Join(s.dir, indexFileName), idx); err != nil {
+		// The index is advisory; a failed flush costs recency after a
+		// crash, nothing else. Retry on the next tick.
+		s.mu.Lock()
+		s.dirty = true
+		s.mu.Unlock()
+	}
+}
+
+// snapshotIndexLocked captures the resident set oldest-first; the
+// caller holds s.mu.
+func (s *Store) snapshotIndexLocked() []object {
+	out := make([]object, 0, s.order.Len())
+	for el := s.order.Back(); el != nil; el = el.Prev() {
+		out = append(out, *el.Value.(*object))
+	}
+	return out
+}
+
+// Stats returns a snapshot of traffic counters and occupancy.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	objects := int64(s.order.Len())
+	resident := s.bytes
+	s.mu.Unlock()
+	return Stats{
+		Hits:        s.hits.Load(),
+		Misses:      s.misses.Load(),
+		Evictions:   s.evictions.Load(),
+		Corruptions: s.corruptions.Load(),
+		Puts:        s.puts.Load(),
+		PutErrors:   s.putErrors.Load(),
+		Objects:     objects,
+		Bytes:       resident,
+	}
+}
+
+// Close stops the background goroutine and persists the index. The
+// store must not be used after Close.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.done)
+	s.wg.Wait()
+	s.evictToBudget()
+	s.mu.Lock()
+	idx := s.snapshotIndexLocked()
+	s.dirty = false
+	s.mu.Unlock()
+	if err := writeIndex(filepath.Join(s.dir, indexFileName), idx); err != nil {
+		return fmt.Errorf("store: close: %w", err)
+	}
+	return nil
+}
+
+// readArtifact reads and fully verifies one artifact file: magic, key
+// binding, declared length, and payload checksum.
+func readArtifact(path string, want [32]byte) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if info.Size() < artifactHeaderSize || info.Size() > maxArtifactBytes {
+		return nil, fmt.Errorf("store: artifact size %d out of range", info.Size())
+	}
+	var hdr [artifactHeaderSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return nil, fmt.Errorf("store: artifact header: %w", err)
+	}
+	if !bytes.Equal(hdr[:5], artifactMagic[:]) {
+		return nil, errors.New("store: bad artifact magic")
+	}
+	if !bytes.Equal(hdr[5:37], want[:]) {
+		return nil, errors.New("store: artifact bound to a different key")
+	}
+	plen := binary.LittleEndian.Uint64(hdr[37:45])
+	if int64(plen) != info.Size()-artifactHeaderSize {
+		return nil, fmt.Errorf("store: declared payload %d bytes, file holds %d",
+			plen, info.Size()-artifactHeaderSize)
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(f, payload); err != nil {
+		return nil, fmt.Errorf("store: artifact payload: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(hdr[45:77], sum[:]) {
+		return nil, errors.New("store: payload checksum mismatch")
+	}
+	return payload, nil
+}
+
+// writeArtifact writes an artifact atomically: a temp file in the final
+// directory, then a rename. Returns the file size for accounting.
+func writeArtifact(path string, h [32]byte, payload []byte) (int64, error) {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	f, err := os.CreateTemp(dir, "put-*.tmp")
+	if err != nil {
+		return 0, err
+	}
+	tmp := f.Name()
+	var hdr [artifactHeaderSize]byte
+	copy(hdr[:5], artifactMagic[:])
+	copy(hdr[5:37], h[:])
+	binary.LittleEndian.PutUint64(hdr[37:45], uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	copy(hdr[45:77], sum[:])
+	_, err = f.Write(hdr[:])
+	if err == nil {
+		_, err = f.Write(payload)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	return int64(artifactHeaderSize + len(payload)), nil
+}

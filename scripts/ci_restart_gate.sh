@@ -1,0 +1,111 @@
+#!/bin/sh
+# Crash/restart durability gate for the artifact store + async jobs.
+#
+# Scenario: start `extrap serve` with a durable store, submit a slow
+# sweep job, kill the server with SIGKILL once some — but not all —
+# grid cells have landed, then restart it on the same -store-dir. The
+# gate passes only if:
+#
+#   1. the restarted server resumes the job and completes it,
+#   2. the cells finished before the kill are loaded from the store
+#      (cells_loaded > 0), not re-simulated,
+#   3. the job's result is byte-identical to what the synchronous
+#      POST /v1/sweep endpoint computes for the same request.
+#
+# Requires: curl, jq. Usage: ci_restart_gate.sh [port]
+set -e
+
+PORT="${1:-8291}"
+BASE="http://127.0.0.1:$PORT"
+# Heavy enough that a sequential (-workers 1) run of the ladder takes
+# seconds — the kill must land mid-job, and the script fails loudly if
+# the job outruns it.
+BODY='{"benchmark":"grid","size":512,"iters":128,"machine":"cm5","procs":[1,2,4,8,16,32,64,128,256]}'
+
+workdir=$(mktemp -d)
+storedir="$workdir/store"
+serve_pid=""
+cleanup() {
+	[ -n "$serve_pid" ] && kill "$serve_pid" 2>/dev/null || true
+	rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/extrap" ./cmd/extrap
+
+start_server() {
+	"$workdir/extrap" serve -addr "127.0.0.1:$PORT" -store-dir "$storedir" \
+		-workers 1 -timeout 300s >> "$workdir/serve.log" 2>&1 &
+	serve_pid=$!
+	for _ in $(seq 1 100); do
+		if curl -sf "$BASE/v1/healthz" > /dev/null 2>&1; then return 0; fi
+		sleep 0.1
+	done
+	echo "restart-gate: server did not come up; log:" >&2
+	cat "$workdir/serve.log" >&2
+	exit 1
+}
+
+echo "restart-gate: starting server, submitting job..."
+start_server
+job=$(curl -sf -X POST -H 'Content-Type: application/json' -d "$BODY" "$BASE/v1/jobs")
+id=$(echo "$job" | jq -r .id)
+[ -n "$id" ] && [ "$id" != "null" ] || { echo "restart-gate: bad submit response: $job" >&2; exit 1; }
+
+# Kill the moment at least one cell has landed while the job is still
+# running. SIGKILL: no graceful shutdown, no index flush — the restart
+# must recover from the objects on disk alone.
+killed=""
+for _ in $(seq 1 1200); do
+	snap=$(curl -sf "$BASE/v1/jobs/$id")
+	status=$(echo "$snap" | jq -r .status)
+	done_cells=$(echo "$snap" | jq -r .done_cells)
+	total_cells=$(echo "$snap" | jq -r .total_cells)
+	if [ "$status" = "running" ] && [ "$done_cells" -ge 1 ] && [ "$done_cells" -lt "$total_cells" ]; then
+		kill -9 "$serve_pid"
+		wait "$serve_pid" 2>/dev/null || true
+		killed=yes
+		echo "restart-gate: killed server at $done_cells/$total_cells cells"
+		break
+	fi
+	case "$status" in
+		done|failed|cancelled)
+			echo "restart-gate: job reached '$status' before the kill — workload too fast for this machine; grow BODY" >&2
+			exit 1 ;;
+	esac
+	sleep 0.05
+done
+[ -n "$killed" ] || { echo "restart-gate: job never started within the poll window" >&2; exit 1; }
+cells_at_kill="$done_cells"
+
+echo "restart-gate: restarting on the same store..."
+start_server
+
+for _ in $(seq 1 2400); do
+	snap=$(curl -sf "$BASE/v1/jobs/$id")
+	status=$(echo "$snap" | jq -r .status)
+	case "$status" in
+		done) break ;;
+		failed|cancelled)
+			echo "restart-gate: resumed job ended '$status': $snap" >&2
+			exit 1 ;;
+	esac
+	sleep 0.05
+done
+[ "$status" = "done" ] || { echo "restart-gate: resumed job did not finish" >&2; exit 1; }
+echo "$snap" | jq -c 'del(.result)'
+
+loaded=$(curl -sf "$BASE/debug/vars" | jq -r .extrap_serve.jobs.cells_loaded)
+if [ "$loaded" -lt "$cells_at_kill" ]; then
+	echo "restart-gate: only $loaded cells loaded from the store, expected ≥ $cells_at_kill — completed cells were re-simulated" >&2
+	exit 1
+fi
+echo "restart-gate: $loaded cells restored from the store, not re-simulated"
+
+echo "$snap" | jq -cS .result > "$workdir/job-result.json"
+curl -sf -X POST -H 'Content-Type: application/json' -d "$BODY" "$BASE/v1/sweep" | jq -cS . > "$workdir/sync-result.json"
+if ! diff -u "$workdir/sync-result.json" "$workdir/job-result.json"; then
+	echo "restart-gate: resumed job result differs from synchronous sweep" >&2
+	exit 1
+fi
+echo "restart-gate: OK — job survived SIGKILL and completed byte-identically"
