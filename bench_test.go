@@ -240,6 +240,100 @@ func BenchmarkSimulation(b *testing.B) {
 	b.ReportMetric(float64(pt.Events())/1000, "kevents")
 }
 
+// BenchmarkSimulationArena is BenchmarkSimulation with the dense
+// simulator state reused through a sim.Arena across runs — the shape
+// sequential in-memory grid cells now take via the runner's arena pool.
+// The B/op delta against BenchmarkSimulation is the pooled-slice
+// saving (~486 KB and ~70 allocs per cell without the arena).
+func BenchmarkSimulationArena(b *testing.B) {
+	tr := measureGrid(b, 16)
+	pt, err := translate.Translate(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := machine.GenericDM().Config
+	arena := sim.NewArena()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.SimulateArena(arena, pt, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(pt.Events())/1000, "kevents")
+}
+
+// sweepBatchGrid builds the machine-parameter what-if grid for
+// BenchmarkSweepBatch: 24 GenericDM variants on one processor with the
+// model barrier, varying MIPS ratio × barrier cost. Every cell shares
+// the single 16-thread Grid measurement — exactly the workload batched
+// replay amortizes, since the per-cell streaming path must decode and
+// translate that shared trace once per cell.
+func sweepBatchGrid(b *testing.B) []experiments.SweepJob {
+	b.Helper()
+	g, err := benchmarks.ByName("grid")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sz := benchmarks.Size{N: 32, Iters: 60}
+	base := machine.GenericDM().Config
+	base.Procs = 1
+	base.Barrier.Algorithm = sim.LinearBarrier
+	base.Barrier.ByMsgs = false
+	var jobs []experiments.SweepJob
+	for _, mips := range []float64{0.5, 1, 2, 4} {
+		for _, bt := range []vtime.Time{5, 10, 25, 50, 100, 200} {
+			cfg := base
+			cfg.MipsRatio = mips
+			cfg.Barrier.ModelTime = bt * vtime.Microsecond
+			jobs = append(jobs, experiments.SweepJob{
+				Name:    g.Name(),
+				Size:    sz,
+				Factory: g.Factory(sz),
+				Mode:    pcxx.ActualSize,
+				Cfg:     cfg,
+				Procs:   []int{16},
+			})
+		}
+	}
+	return jobs
+}
+
+// BenchmarkSweepBatch measures sweep throughput over the 24-cell
+// machine-parameter grid on the streaming service, per-cell versus
+// batched. One worker in both arms, so the ratio isolates the kernel:
+// the sequential arm replays decode→translate→simulate per cell, the
+// batched arm decodes and translates the shared trace once and
+// advances 8 machine models per pass. Results are byte-identical at
+// any batch size (covered by the determinism tests); the committed
+// baseline pins batch8 at ≥ 3× sequential cells/sec with fewer
+// allocs per cell.
+func BenchmarkSweepBatch(b *testing.B) {
+	for _, bc := range []struct {
+		name  string
+		batch int
+	}{{"sequential", 1}, {"batch8", 8}} {
+		b.Run(bc.name, func(b *testing.B) {
+			svc := experiments.NewStreamingService(1, 64, 0)
+			svc.SetBatchSize(bc.batch)
+			jobs := sweepBatchGrid(b)
+			ctx := context.Background()
+			if _, err := svc.SweepGrid(ctx, jobs); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := svc.SweepGrid(ctx, jobs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(len(jobs))*float64(b.N)/secs, "cells/s")
+			}
+		})
+	}
+}
+
 // BenchmarkFullPipeline times measure→translate→simulate end to end.
 func BenchmarkFullPipeline(b *testing.B) {
 	g, err := benchmarks.ByName("grid")

@@ -620,6 +620,7 @@ func parseExperimentFlags(args []string) (opts experiments.Options, id, csvDir, 
 	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "small problem sizes and a short processor ladder")
 	workers := fs.Int("workers", 0, "worker goroutines for the measurement/simulation grid (0 = all CPUs, 1 = sequential; output is identical at any value)")
+	batch := fs.Int("batch", 0, "batched grid simulation: advance up to this many machine models per pass over a shared measured trace (≤ 1 = per-cell; output is identical at any value)")
 	csv := fs.String("csv", "", "also write each table as CSV into this directory")
 	svg := fs.String("svg", "", "also write each figure as SVG into this directory")
 	storeFlag := fs.String("store", "", "durable artifact store directory: measurements persist there and repeated runs reuse them instead of re-measuring (empty = in-memory only)")
@@ -632,7 +633,7 @@ func parseExperimentFlags(args []string) (opts experiments.Options, id, csvDir, 
 	if fs.NArg() != 1 {
 		return opts, "", "", "", "", fmt.Errorf("experiment: exactly one experiment id (or \"all\") required")
 	}
-	return experiments.Options{Quick: *quick, Workers: *workers}, fs.Arg(0), *csv, *svg, *storeFlag, nil
+	return experiments.Options{Quick: *quick, Workers: *workers, BatchSize: *batch}, fs.Arg(0), *csv, *svg, *storeFlag, nil
 }
 
 func cmdExperiment(args []string, w io.Writer) error {

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+
+	"extrap/internal/sim"
+	"extrap/internal/trace"
+	"extrap/internal/translate"
+)
+
+// ExtrapolateBatch answers K what-if questions against one measurement:
+// the trace is translated once and the simulator advances one machine
+// model per config over the shared read-only parallel trace, reusing
+// the dense per-lane state between lanes. Each prediction is
+// byte-identical to what Extrapolate/ExtrapolateEncoded produces for
+// the same (trace, config) pair — batching is purely an amortization of
+// the decode and translation passes.
+func ExtrapolateBatch(ctx context.Context, tr *trace.Trace, cfgs []sim.Config) ([]*Prediction, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: extrapolation not started: %w", err)
+	}
+	pt, err := translate.Translate(tr)
+	if err != nil {
+		return nil, err
+	}
+	results, err := sim.SimulateBatchContext(ctx, pt, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	measured, ideal := tr.Duration(), pt.Duration()
+	out := make([]*Prediction, len(results))
+	for i, res := range results {
+		out[i] = &Prediction{Measured1P: measured, Ideal: ideal, Result: res}
+	}
+	return out, nil
+}
+
+// ExtrapolateEncodedBatch is ExtrapolateBatch over a binary-encoded
+// (XTRP1) measurement: one decode, one translation, K simulations.
+// This is the sweep fast path — the per-cell streaming pipeline decodes
+// and translates the same bytes once per config.
+func ExtrapolateEncodedBatch(ctx context.Context, enc []byte, cfgs []sim.Config) ([]*Prediction, error) {
+	tr, err := trace.ReadBinary(bytes.NewReader(enc))
+	if err != nil {
+		return nil, err
+	}
+	return ExtrapolateBatch(ctx, tr, cfgs)
+}

@@ -114,8 +114,12 @@ func (r *runner) job(b benchmarks.Benchmark, mode pcxx.SizeMode, cfg sim.Config,
 
 // runGrid fans the grid across the experiment's worker pool.
 func (r *runner) runGrid(jobs []SweepJob) ([][]metrics.Point, error) {
-	return runGrid(context.Background(), r.cache, r.opts.Workers, jobs)
+	return runGrid(context.Background(), r.cache, r.opts.Workers,
+		batchOptions{size: r.opts.BatchSize, stats: r.opts.BatchStats}, jobs)
 }
+
+// gridCell addresses one (job, ladder index) cell of a flattened grid.
+type gridCell struct{ job, pt int }
 
 // runGrid fans every (job, processor count) cell of the grid across a
 // worker pool and returns one point series per job, in job order. Each
@@ -131,58 +135,74 @@ func (r *runner) runGrid(jobs []SweepJob) ([][]metrics.Point, error) {
 // trace. The streaming pipeline is byte-identical to the in-memory
 // one, so the grid's output is the same either way, at any worker
 // count.
-func runGrid(ctx context.Context, cache *core.TraceCache, workers int, jobs []SweepJob) ([][]metrics.Point, error) {
+//
+// With bo.size > 1 cells that share a measurement are simulated in
+// batches through the batch kernel (see runGridBatched); the assembled
+// output is byte-identical at any batch size because the batch kernel
+// itself is byte-identical to per-cell simulation.
+func runGrid(ctx context.Context, cache *core.TraceCache, workers int, bo batchOptions, jobs []SweepJob) ([][]metrics.Point, error) {
 	// Flatten the grid so the pool load-balances across cells of every
 	// job, not one job at a time.
-	type cell struct{ job, pt int }
-	var cells []cell
+	var cells []gridCell
 	points := make([][]metrics.Point, len(jobs))
 	for j := range jobs {
 		points[j] = make([]metrics.Point, len(jobs[j].Procs))
 		for i := range jobs[j].Procs {
-			cells = append(cells, cell{j, i})
+			cells = append(cells, gridCell{j, i})
 		}
 	}
-	err := pool.Run(workers, len(cells), func(c int) error {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		job := &jobs[cells[c].job]
-		n := job.Procs[cells[c].pt]
-		mopts := core.MeasureOptions{SizeMode: job.Mode}
-		key := cacheKey(job.Name, job.Size, n, mopts)
-		measure := func() (*trace.Trace, error) {
-			return core.MeasureContext(ctx, job.Factory(n), mopts)
-		}
-		var total vtime.Time
-		if cache.Streams() {
-			enc, err := cache.Encoded(key, measure)
-			if err != nil {
+	var err error
+	if bo.size > 1 {
+		err = runGridBatched(ctx, cache, workers, bo, jobs, cells, points)
+	} else {
+		err = pool.Run(workers, len(cells), func(c int) error {
+			if err := ctx.Err(); err != nil {
 				return err
 			}
-			pred, err := core.ExtrapolateEncoded(ctx, enc, job.Cfg)
-			if err != nil {
-				return err
-			}
-			total = pred.Result.TotalTime
-		} else {
-			pt, err := cache.Translated(key, measure)
-			if err != nil {
-				return err
-			}
-			res, err := sim.SimulateContext(ctx, pt, job.Cfg)
-			if err != nil {
-				return err
-			}
-			total = res.TotalTime
-		}
-		points[cells[c].job][cells[c].pt] = metrics.Point{Procs: n, Time: total}
-		return nil
-	})
+			return runCellSequential(ctx, cache, jobs, cells, points, c)
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
 	return points, nil
+}
+
+// runCellSequential executes one grid cell on the per-cell path:
+// streaming pipeline on an encoded cache, pooled-arena simulation of
+// the shared translated trace otherwise.
+func runCellSequential(ctx context.Context, cache *core.TraceCache, jobs []SweepJob, cells []gridCell, points [][]metrics.Point, c int) error {
+	job := &jobs[cells[c].job]
+	n := job.Procs[cells[c].pt]
+	mopts := core.MeasureOptions{SizeMode: job.Mode}
+	key := cacheKey(job.Name, job.Size, n, mopts)
+	measure := func() (*trace.Trace, error) {
+		return core.MeasureContext(ctx, job.Factory(n), mopts)
+	}
+	var total vtime.Time
+	if cache.Streams() {
+		enc, err := cache.Encoded(key, measure)
+		if err != nil {
+			return err
+		}
+		pred, err := core.ExtrapolateEncoded(ctx, enc, job.Cfg)
+		if err != nil {
+			return err
+		}
+		total = pred.Result.TotalTime
+	} else {
+		pt, err := cache.Translated(key, measure)
+		if err != nil {
+			return err
+		}
+		res, err := simulateCell(ctx, pt, job.Cfg)
+		if err != nil {
+			return err
+		}
+		total = res.TotalTime
+	}
+	points[cells[c].job][cells[c].pt] = metrics.Point{Procs: n, Time: total}
+	return nil
 }
 
 // simulate runs one simulation of an already-translated trace.

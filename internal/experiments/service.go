@@ -24,6 +24,8 @@ import (
 type Service struct {
 	cache   *core.TraceCache
 	workers int
+	batch   int
+	bstats  BatchStats
 }
 
 // NewService returns a Service whose sweeps fan out over at most workers
@@ -65,6 +67,19 @@ func (s *Service) SetBackend(b core.TraceBackend) { s.cache.SetBackend(b) }
 // (≤ 0 means GOMAXPROCS), so composed components — notably the jobs
 // queue — can match their cell parallelism to the engine's.
 func (s *Service) Workers() int { return s.workers }
+
+// SetBatchSize enables batched sweep simulation: grid cells sharing a
+// measurement advance up to k machine models per pass over the shared
+// translated trace. k ≤ 1 keeps the per-cell path. Responses are
+// byte-identical at any batch size. Set before the Service starts
+// handling requests.
+func (s *Service) SetBatchSize(k int) { s.batch = k }
+
+// BatchSize reports the configured batch width (≤ 1 means per-cell).
+func (s *Service) BatchSize() int { return s.batch }
+
+// BatchStats reports cumulative batched-sweep counters.
+func (s *Service) BatchStats() BatchSnapshot { return s.bstats.Snapshot() }
 
 // Extrapolate predicts one benchmark configuration on one target
 // environment: measure (or reuse) the threads-thread trace, translate
@@ -127,13 +142,83 @@ func (s *Service) Predict(ctx context.Context, b benchmarks.Benchmark, size benc
 	return core.ExtrapolateEncoded(ctx, enc, cfg)
 }
 
+// PredictBatch answers one prediction per config against a single
+// shared measurement — the trace for (benchmark, size, threads) is
+// decoded and translated once and every config's machine model advances
+// over it through the batch kernel. Each returned prediction is
+// byte-identical to what Predict returns for the same config.
+func (s *Service) PredictBatch(ctx context.Context, b benchmarks.Benchmark, size benchmarks.Size, threads int, mode pcxx.SizeMode, cfgs []sim.Config) ([]*core.Prediction, error) {
+	if len(cfgs) == 0 {
+		return nil, nil
+	}
+	if threads <= 0 {
+		return nil, fmt.Errorf("experiments: invalid thread count %d", threads)
+	}
+	mopts := core.MeasureOptions{SizeMode: mode}
+	key := cacheKey(b.Name(), size, threads, mopts)
+	measure := func() (*trace.Trace, error) {
+		return core.MeasureContext(ctx, b.Factory(size)(threads), mopts)
+	}
+	var out []*core.Prediction
+	if s.cache.Streams() {
+		enc, err := s.cache.Encoded(key, measure)
+		if err != nil {
+			return nil, err
+		}
+		out, err = core.ExtrapolateEncodedBatch(ctx, enc, cfgs)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		tr, err := s.cache.Measure(key, measure)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := s.cache.Translated(key, measure)
+		if err != nil {
+			return nil, err
+		}
+		results, err := sim.SimulateBatchContext(ctx, pt, cfgs)
+		if err != nil {
+			return nil, err
+		}
+		out = make([]*core.Prediction, len(results))
+		for i, res := range results {
+			out[i] = &core.Prediction{
+				Measured1P: tr.Duration(),
+				Ideal:      pt.Duration(),
+				Result:     res,
+			}
+		}
+	}
+	if len(cfgs) > 1 {
+		s.bstats.Batches.Add(1)
+		s.bstats.CellsBatched.Add(int64(len(cfgs)))
+	} else {
+		s.bstats.FallbackSequential.Add(1)
+	}
+	return out, nil
+}
+
 // Sweep runs one processor-ladder sweep job through the shared cache and
 // worker pool, returning the scaling series in ladder order. Output is
 // byte-identical at any worker count (the grid runner's invariant).
 func (s *Service) Sweep(ctx context.Context, job SweepJob) ([]metrics.Point, error) {
-	series, err := runGrid(ctx, s.cache, s.workers, []SweepJob{job})
+	series, err := s.SweepGrid(ctx, []SweepJob{job})
 	if err != nil {
 		return nil, err
 	}
 	return series[0], nil
+}
+
+// SweepGrid runs several sweep jobs as one grid, returning one series
+// per job in job order. Running related jobs together is what lets the
+// batch kernel engage: cells that name the same benchmark, size, and
+// thread count — the same measurement under different machine models —
+// are simulated together in one pass over the shared trace when the
+// Service's batch size allows. Output is byte-identical to running the
+// jobs one at a time, at any worker count and batch size.
+func (s *Service) SweepGrid(ctx context.Context, jobs []SweepJob) ([][]metrics.Point, error) {
+	bo := batchOptions{size: s.batch, stats: &s.bstats}
+	return runGrid(ctx, s.cache, s.workers, bo, jobs)
 }

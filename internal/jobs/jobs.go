@@ -38,6 +38,7 @@ import (
 	"extrap/internal/metrics"
 	"extrap/internal/pcxx"
 	"extrap/internal/pool"
+	"extrap/internal/sim"
 	"extrap/internal/store"
 	"extrap/internal/vtime"
 )
@@ -66,8 +67,25 @@ type Spec struct {
 	Benchmark string `json:"benchmark"`
 	Size      int    `json:"size"`
 	Iters     int    `json:"iters"`
-	Machine   string `json:"machine"`
-	Procs     []int  `json:"procs"`
+	// Machine names a single target environment. Exactly one of Machine
+	// / Machines must be set.
+	Machine string `json:"machine,omitempty"`
+	// Machines names several target environments swept against the same
+	// measurements — one curve per machine. Cells are addressed
+	// machine-major: the grid is Machines × Procs and every machine's
+	// cells at one ladder point share a measurement, which is what lets
+	// the engine's batched simulation kernel engage.
+	Machines []string `json:"machines,omitempty"`
+	Procs    []int    `json:"procs"`
+}
+
+// machineNames returns the job's machine list: Machines when set, else
+// the single Machine.
+func (sp Spec) machineNames() []string {
+	if len(sp.Machines) > 0 {
+		return sp.Machines
+	}
+	return []string{sp.Machine}
 }
 
 // cellRecord is the persisted result of one grid cell, stored in the
@@ -80,7 +98,10 @@ type cellRecord struct {
 	TotalNs int64 `json:"total_ns"`
 }
 
-// jobFile is the persisted form of one job.
+// jobFile is the persisted form of one job. Points is flat and
+// machine-major (machine 0's ladder, then machine 1's, …), so a
+// single-machine job file is byte-compatible with the pre-multi-machine
+// format.
 type jobFile struct {
 	ID     string       `json:"id"`
 	Spec   Spec         `json:"spec"`
@@ -98,8 +119,8 @@ type Job struct {
 	status   Status
 	errMsg   string
 	done     int
-	points   []metrics.Point
-	havePt   []bool
+	points   [][]metrics.Point // one curve per machine, ladder-indexed
+	havePt   [][]bool
 	cancel   context.CancelFunc
 	userStop bool // Cancel was called (vs. manager shutdown)
 }
@@ -112,9 +133,13 @@ type Snapshot struct {
 	Error      string
 	TotalCells int
 	DoneCells  int
-	// Points is the completed sweep series in ladder order; nil until
-	// the job is done.
+	// Points is the first machine's completed sweep series in ladder
+	// order — the whole result for a single-machine job; nil until the
+	// job is done.
 	Points []metrics.Point
+	// Curves is one completed series per machine, in Spec order; nil
+	// until the job is done. Curves[0] aliases Points.
+	Curves [][]metrics.Point
 }
 
 // Stats is a snapshot of queue traffic for /debug/vars: current state
@@ -245,7 +270,7 @@ func (m *Manager) loadAll() error {
 			done:   jf.Done,
 		}
 		if jf.Status == StatusDone {
-			j.points = recordsToPoints(jf.Points)
+			j.points = splitCurves(recordsToPoints(jf.Points), len(jf.Spec.Procs))
 		}
 		m.jobs[jf.ID] = j
 		if !jf.Status.Terminal() {
@@ -345,11 +370,15 @@ func (m *Manager) snapshotLocked(j *Job) Snapshot {
 		Spec:       j.spec,
 		Status:     j.status,
 		Error:      j.errMsg,
-		TotalCells: len(j.spec.Procs),
+		TotalCells: len(j.spec.machineNames()) * len(j.spec.Procs),
 		DoneCells:  j.done,
 	}
 	if j.status == StatusDone {
-		s.Points = append([]metrics.Point(nil), j.points...)
+		s.Curves = make([][]metrics.Point, len(j.points))
+		for i, curve := range j.points {
+			s.Curves[i] = append([]metrics.Point(nil), curve...)
+		}
+		s.Points = s.Curves[0]
 	}
 	return s
 }
@@ -442,7 +471,9 @@ func (m *Manager) persist(j *Job) error {
 		Done:   j.done,
 	}
 	if j.status == StatusDone {
-		jf.Points = pointsToRecords(j.points)
+		for _, curve := range j.points {
+			jf.Points = append(jf.Points, pointsToRecords(curve)...)
+		}
 	}
 	m.mu.Unlock()
 	body, err := json.Marshal(jf)
@@ -493,7 +524,15 @@ func readJobFile(path string) (jobFile, error) {
 		return jobFile{}, fmt.Errorf("jobs: unknown status %q", jf.Status)
 	}
 	if len(jf.Spec.Procs) == 0 || len(jf.Spec.Procs) > 1<<10 {
-		return jobFile{}, fmt.Errorf("jobs: job has %d cells", len(jf.Spec.Procs))
+		return jobFile{}, fmt.Errorf("jobs: job has %d ladder entries", len(jf.Spec.Procs))
+	}
+	if len(jf.Spec.Machines) > 1<<10 {
+		return jobFile{}, fmt.Errorf("jobs: job has %d machines", len(jf.Spec.Machines))
+	}
+	if jf.Status == StatusDone {
+		if want := len(jf.Spec.machineNames()) * len(jf.Spec.Procs); len(jf.Points) != want {
+			return jobFile{}, fmt.Errorf("jobs: done job has %d points, want %d", len(jf.Points), want)
+		}
 	}
 	return jf, nil
 }
@@ -525,15 +564,20 @@ func (m *Manager) runJob(id string) {
 	j.status = StatusRunning
 	j.cancel = cancel
 	j.done = 0
-	j.points = make([]metrics.Point, len(j.spec.Procs))
-	j.havePt = make([]bool, len(j.spec.Procs))
+	nm := len(j.spec.machineNames())
+	j.points = make([][]metrics.Point, nm)
+	j.havePt = make([][]bool, nm)
+	for mi := range j.points {
+		j.points[mi] = make([]metrics.Point, len(j.spec.Procs))
+		j.havePt[mi] = make([]bool, len(j.spec.Procs))
+	}
 	spec := j.spec
 	m.mu.Unlock()
 	m.persist(j)
 
-	b, sz, env, err := resolveSpec(spec)
+	b, sz, envs, err := resolveSpec(spec)
 	if err == nil {
-		err = m.runCells(ctx, j, b, sz, env)
+		err = m.runCells(ctx, j, b, sz, envs)
 	}
 
 	m.mu.Lock()
@@ -541,7 +585,7 @@ func (m *Manager) runJob(id string) {
 	switch {
 	case err == nil:
 		j.status = StatusDone
-		j.done = len(j.spec.Procs)
+		j.done = nm * len(j.spec.Procs)
 		m.doneJobs.Add(1)
 	case j.userStop:
 		j.status = StatusCancelled
@@ -562,57 +606,130 @@ func (m *Manager) runJob(id string) {
 	m.persist(j)
 }
 
-// runCells fans the job's ladder across the cell pool. Each cell first
-// consults the artifact store for its content-addressed prediction —
-// a hit restores the result without touching the pipeline (that is the
-// resume path after a crash) — and otherwise computes it through the
-// experiment engine and persists it before reporting done.
-func (m *Manager) runCells(ctx context.Context, j *Job, b benchmarks.Benchmark, sz benchmarks.Size, env machine.Env) error {
+// runCells fans the job's grid (machines × ladder) across the cell
+// pool. Each cell first consults the artifact store for its
+// content-addressed prediction — a hit restores the result without
+// touching the pipeline (that is the resume path after a crash) — and
+// otherwise computes it through the experiment engine and persists it
+// before reporting done.
+//
+// With the Service's batch size > 1 and several machines, cells are
+// scheduled one ladder point at a time: every machine's cell at that
+// point shares one measurement, so the misses (after per-cell store
+// lookup) run through PredictBatch in batch-size chunks — one pass over
+// the shared trace per chunk. Each cell still persists individually
+// under its own content address the moment its lane lands, so crash
+// resume is exactly as fine-grained as the per-cell path, and the batch
+// kernel's byte-identity means the stored records match it exactly.
+func (m *Manager) runCells(ctx context.Context, j *Job, b benchmarks.Benchmark, sz benchmarks.Size, envs []machine.Env) error {
 	procs := j.spec.Procs
-	return pool.Run(m.cfg.Service.Workers(), len(procs), func(i int) error {
+	batch := m.cfg.Service.BatchSize()
+	if batch > 1 && len(envs) > 1 {
+		return pool.Run(m.cfg.Service.Workers(), len(procs), func(pi int) error {
+			return m.runLadderPoint(ctx, j, b, sz, envs, pi, batch)
+		})
+	}
+	return pool.Run(m.cfg.Service.Workers(), len(envs)*len(procs), func(c int) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		mi, pi := c/len(procs), c%len(procs)
 		if m.cellHook != nil {
-			m.cellHook(j.id, i)
+			m.cellHook(j.id, c)
 		}
-		n := procs[i]
+		n := procs[pi]
 		key := experiments.MeasurementKey(b.Name(), sz, n, core.MeasureOptions{SizeMode: pcxx.ActualSize})
-		predKey := core.CanonicalPrediction(key, env.Config)
-
-		var pt metrics.Point
-		if raw, ok := m.cfg.Store.Get(predKey); ok {
-			var rec cellRecord
-			if err := json.Unmarshal(raw, &rec); err == nil && rec.Procs == n {
-				pt = metrics.Point{Procs: rec.Procs, Time: vtime.Time(rec.TotalNs)}
-				m.cellsLoaded.Add(1)
-				return m.finishCell(j, i, pt)
-			}
-			// Undecodable record under a verified checksum: format skew;
-			// recompute and overwrite below.
+		if pt, ok := m.loadCell(key, envs[mi], n); ok {
+			return m.finishCell(j, mi, pi, pt)
 		}
-
-		pred, err := m.cfg.Service.Predict(ctx, b, sz, n, pcxx.ActualSize, env.Config)
+		pred, err := m.cfg.Service.Predict(ctx, b, sz, n, pcxx.ActualSize, envs[mi].Config)
 		if err != nil {
 			return err
 		}
-		pt = metrics.Point{Procs: n, Time: pred.Result.TotalTime}
-		rec, err := json.Marshal(cellRecord{Procs: n, TotalNs: int64(pred.Result.TotalTime)})
-		if err != nil {
-			return err
-		}
-		m.cfg.Store.Put(predKey, rec)
-		m.cellsComputed.Add(1)
-		return m.finishCell(j, i, pt)
+		return m.storeCell(j, key, envs[mi], mi, pi, n, pred)
 	})
 }
 
+// runLadderPoint executes every machine's cell at one ladder point:
+// store lookups first, then the missing cells batched over the shared
+// measurement.
+func (m *Manager) runLadderPoint(ctx context.Context, j *Job, b benchmarks.Benchmark, sz benchmarks.Size, envs []machine.Env, pi, batch int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	procs := j.spec.Procs
+	n := procs[pi]
+	key := experiments.MeasurementKey(b.Name(), sz, n, core.MeasureOptions{SizeMode: pcxx.ActualSize})
+	var missing []int // machine indices whose cell is not in the store
+	for mi := range envs {
+		if m.cellHook != nil {
+			m.cellHook(j.id, mi*len(procs)+pi)
+		}
+		if pt, ok := m.loadCell(key, envs[mi], n); ok {
+			if err := m.finishCell(j, mi, pi, pt); err != nil {
+				return err
+			}
+			continue
+		}
+		missing = append(missing, mi)
+	}
+	for lo := 0; lo < len(missing); lo += batch {
+		hi := lo + batch
+		if hi > len(missing) {
+			hi = len(missing)
+		}
+		chunk := missing[lo:hi]
+		cfgs := make([]sim.Config, len(chunk))
+		for i, mi := range chunk {
+			cfgs[i] = envs[mi].Config
+		}
+		preds, err := m.cfg.Service.PredictBatch(ctx, b, sz, n, pcxx.ActualSize, cfgs)
+		if err != nil {
+			return err
+		}
+		for i, mi := range chunk {
+			if err := m.storeCell(j, key, envs[mi], mi, pi, n, preds[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// loadCell restores one cell's prediction from the artifact store, if
+// present and decodable. An undecodable record under a verified
+// checksum is format skew; the caller recomputes and overwrites.
+func (m *Manager) loadCell(key core.CacheKey, env machine.Env, n int) (metrics.Point, bool) {
+	raw, ok := m.cfg.Store.Get(core.CanonicalPrediction(key, env.Config))
+	if !ok {
+		return metrics.Point{}, false
+	}
+	var rec cellRecord
+	if err := json.Unmarshal(raw, &rec); err != nil || rec.Procs != n {
+		return metrics.Point{}, false
+	}
+	m.cellsLoaded.Add(1)
+	return metrics.Point{Procs: rec.Procs, Time: vtime.Time(rec.TotalNs)}, true
+}
+
+// storeCell persists one computed cell under its content address and
+// records it done.
+func (m *Manager) storeCell(j *Job, key core.CacheKey, env machine.Env, mi, pi, n int, pred *core.Prediction) error {
+	rec, err := json.Marshal(cellRecord{Procs: n, TotalNs: int64(pred.Result.TotalTime)})
+	if err != nil {
+		return err
+	}
+	m.cfg.Store.Put(core.CanonicalPrediction(key, env.Config), rec)
+	m.cellsComputed.Add(1)
+	return m.finishCell(j, mi, pi, metrics.Point{Procs: n, Time: pred.Result.TotalTime})
+}
+
 // finishCell records one completed cell and persists progress.
-func (m *Manager) finishCell(j *Job, i int, pt metrics.Point) error {
+func (m *Manager) finishCell(j *Job, mi, pi int, pt metrics.Point) error {
 	m.mu.Lock()
-	if !j.havePt[i] {
-		j.havePt[i] = true
-		j.points[i] = pt
+	if !j.havePt[mi][pi] {
+		j.havePt[mi][pi] = true
+		j.points[mi][pi] = pt
 		j.done++
 	}
 	m.mu.Unlock()
@@ -623,20 +740,28 @@ func (m *Manager) finishCell(j *Job, i int, pt metrics.Point) error {
 // substituting benchmark defaults for zero size fields exactly as the
 // synchronous API does — so a job's cells land on the same content
 // addresses as the equivalent synchronous sweep.
-func resolveSpec(sp Spec) (benchmarks.Benchmark, benchmarks.Size, machine.Env, error) {
+func resolveSpec(sp Spec) (benchmarks.Benchmark, benchmarks.Size, []machine.Env, error) {
 	if sp.Benchmark == "" {
-		return nil, benchmarks.Size{}, machine.Env{}, errors.New("jobs: benchmark is required")
+		return nil, benchmarks.Size{}, nil, errors.New("jobs: benchmark is required")
 	}
 	b, err := benchmarks.ByName(sp.Benchmark)
 	if err != nil {
-		return nil, benchmarks.Size{}, machine.Env{}, fmt.Errorf("jobs: %w", err)
+		return nil, benchmarks.Size{}, nil, fmt.Errorf("jobs: %w", err)
 	}
-	env, err := machine.ByName(sp.Machine)
-	if err != nil {
-		return nil, benchmarks.Size{}, machine.Env{}, fmt.Errorf("jobs: %w", err)
+	if sp.Machine != "" && len(sp.Machines) > 0 {
+		return nil, benchmarks.Size{}, nil, errors.New("jobs: machine and machines are mutually exclusive")
+	}
+	names := sp.machineNames()
+	envs := make([]machine.Env, len(names))
+	for i, name := range names {
+		env, err := machine.ByName(name)
+		if err != nil {
+			return nil, benchmarks.Size{}, nil, fmt.Errorf("jobs: %w", err)
+		}
+		envs[i] = env
 	}
 	if sp.Size < 0 || sp.Iters < 0 {
-		return nil, benchmarks.Size{}, machine.Env{}, fmt.Errorf("jobs: negative size parameters (%d, %d)", sp.Size, sp.Iters)
+		return nil, benchmarks.Size{}, nil, fmt.Errorf("jobs: negative size parameters (%d, %d)", sp.Size, sp.Iters)
 	}
 	sz := b.DefaultSize()
 	if sp.Size > 0 {
@@ -648,10 +773,10 @@ func resolveSpec(sp Spec) (benchmarks.Benchmark, benchmarks.Size, machine.Env, e
 	sz.Verify = false
 	for _, n := range sp.Procs {
 		if n < 1 {
-			return nil, benchmarks.Size{}, machine.Env{}, fmt.Errorf("jobs: invalid ladder entry %d", n)
+			return nil, benchmarks.Size{}, nil, fmt.Errorf("jobs: invalid ladder entry %d", n)
 		}
 	}
-	return b, sz, env, nil
+	return b, sz, envs, nil
 }
 
 func pointsToRecords(pts []metrics.Point) []cellRecord {
@@ -666,6 +791,17 @@ func recordsToPoints(recs []cellRecord) []metrics.Point {
 	out := make([]metrics.Point, len(recs))
 	for i, r := range recs {
 		out[i] = metrics.Point{Procs: r.Procs, Time: vtime.Time(r.TotalNs)}
+	}
+	return out
+}
+
+// splitCurves slices a flat machine-major point list back into one
+// curve per machine. readJobFile has already verified the length is a
+// multiple of the ladder length.
+func splitCurves(flat []metrics.Point, ladder int) [][]metrics.Point {
+	out := make([][]metrics.Point, 0, len(flat)/ladder)
+	for lo := 0; lo < len(flat); lo += ladder {
+		out = append(out, flat[lo:lo+ladder])
 	}
 	return out
 }

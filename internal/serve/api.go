@@ -67,13 +67,28 @@ type ExtrapolateRequest struct {
 	Machine string `json:"machine"`
 }
 
+// maxSweepMachines bounds the machine list of a multi-machine sweep.
+// Machines multiply only simulation work — every machine shares the
+// ladder's measurements — so the bound is about response size, not the
+// work budget.
+const maxSweepMachines = 16
+
 // SweepRequest asks for a processor-scaling ladder: each ladder point n
-// is measured with n threads and simulated on n processors of machine.
+// is measured with n threads and simulated on n processors of the
+// target machine(s).
 type SweepRequest struct {
 	Benchmark string `json:"benchmark"`
 	Size      int    `json:"size,omitempty"`
 	Iters     int    `json:"iters,omitempty"`
-	Machine   string `json:"machine"`
+	// Machine names a single target environment; the response is a
+	// single curve (SweepResponse).
+	Machine string `json:"machine,omitempty"`
+	// Machines names several target environments to sweep against the
+	// same measurements — the "measure once, ask many what-if questions"
+	// shape, where the server's batched simulation kernel engages. The
+	// response is one curve per machine (MultiSweepResponse). Exactly
+	// one of Machine / Machines must be set.
+	Machines []string `json:"machines,omitempty"`
 	// Procs is the ladder; empty selects the paper's {1,2,4,8,16,32}.
 	Procs []int `json:"procs,omitempty"`
 }
@@ -121,6 +136,23 @@ type SweepResponse struct {
 	Size      int          `json:"size"`
 	Iters     int          `json:"iters"`
 	Points    []SweepPoint `json:"points"`
+}
+
+// SweepCurve is one machine's series of a multi-machine sweep.
+type SweepCurve struct {
+	Machine string       `json:"machine"`
+	Points  []SweepPoint `json:"points"`
+}
+
+// MultiSweepResponse answers a sweep over several machines: one curve
+// per requested machine, in request order, all derived from the same
+// measurements. Each curve's points are byte-identical to the Points a
+// single-machine sweep of that machine returns.
+type MultiSweepResponse struct {
+	Benchmark string       `json:"benchmark"`
+	Size      int          `json:"size"`
+	Iters     int          `json:"iters"`
+	Curves    []SweepCurve `json:"curves"`
 }
 
 // BenchmarkInfo describes one suite benchmark in GET /v1/benchmarks.
@@ -232,36 +264,75 @@ func (req *ExtrapolateRequest) resolve() (benchmarks.Benchmark, benchmarks.Size,
 }
 
 // resolve validates a sweep request and returns the benchmark, size,
-// environment, and ladder.
-func (req *SweepRequest) resolve() (benchmarks.Benchmark, benchmarks.Size, machine.Env, []int, *apiError) {
+// target environments (one per requested machine, in request order),
+// and ladder. Single-machine requests resolve to a one-element slice.
+func (req *SweepRequest) resolve() (benchmarks.Benchmark, benchmarks.Size, []machine.Env, []int, *apiError) {
 	b, sz, apiErr := resolveBenchmark(req.Benchmark, req.Size, req.Iters)
 	if apiErr != nil {
-		return nil, benchmarks.Size{}, machine.Env{}, nil, apiErr
+		return nil, benchmarks.Size{}, nil, nil, apiErr
 	}
-	env, apiErr := resolveMachine(req.Machine)
+	envs, apiErr := req.resolveMachines()
 	if apiErr != nil {
-		return nil, benchmarks.Size{}, machine.Env{}, nil, apiErr
+		return nil, benchmarks.Size{}, nil, nil, apiErr
 	}
 	ladder := req.Procs
 	if len(ladder) == 0 {
 		ladder = []int{1, 2, 4, 8, 16, 32}
 	}
 	if len(ladder) > maxLadderLen {
-		return nil, benchmarks.Size{}, machine.Env{}, nil,
+		return nil, benchmarks.Size{}, nil, nil,
 			errf(http.StatusBadRequest, "invalid_procs", "ladder has %d entries, max %d", len(ladder), maxLadderLen)
 	}
 	totalThreads := 0
 	for _, n := range ladder {
 		if n < 1 || n > maxThreads {
-			return nil, benchmarks.Size{}, machine.Env{}, nil,
+			return nil, benchmarks.Size{}, nil, nil,
 				errf(http.StatusBadRequest, "invalid_procs", "ladder entry %d out of [1, %d]", n, maxThreads)
 		}
 		totalThreads += n
 	}
-	// A sweep measures once per ladder entry, so its budget covers the
-	// whole ladder's thread total.
+	// A sweep measures once per ladder entry — machines share those
+	// measurements — so its budget covers the ladder's thread total,
+	// independent of how many machines are swept.
 	if apiErr := checkWorkBudget(sz, totalThreads); apiErr != nil {
-		return nil, benchmarks.Size{}, machine.Env{}, nil, apiErr
+		return nil, benchmarks.Size{}, nil, nil, apiErr
 	}
-	return b, sz, env, ladder, nil
+	return b, sz, envs, ladder, nil
+}
+
+// resolveMachines validates the machine / machines fields: exactly one
+// must be set, every name must resolve, and the list is bounded and
+// duplicate-free (duplicates would be wasted simulation work returning
+// identical curves).
+func (req *SweepRequest) resolveMachines() ([]machine.Env, *apiError) {
+	if req.Machine != "" && len(req.Machines) > 0 {
+		return nil, errf(http.StatusBadRequest, "invalid_machines",
+			"machine and machines are mutually exclusive; set one")
+	}
+	if len(req.Machines) == 0 {
+		env, apiErr := resolveMachine(req.Machine)
+		if apiErr != nil {
+			return nil, apiErr
+		}
+		return []machine.Env{env}, nil
+	}
+	if len(req.Machines) > maxSweepMachines {
+		return nil, errf(http.StatusBadRequest, "invalid_machines",
+			"machines has %d entries, max %d", len(req.Machines), maxSweepMachines)
+	}
+	envs := make([]machine.Env, len(req.Machines))
+	seen := make(map[string]bool, len(req.Machines))
+	for i, name := range req.Machines {
+		env, apiErr := resolveMachine(name)
+		if apiErr != nil {
+			return nil, apiErr
+		}
+		if seen[env.Name] {
+			return nil, errf(http.StatusBadRequest, "invalid_machines",
+				"machine %q listed more than once", env.Name)
+		}
+		seen[env.Name] = true
+		envs[i] = env
+	}
+	return envs, nil
 }

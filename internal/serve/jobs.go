@@ -25,20 +25,24 @@ type JobSubmitResponse struct {
 	Status string `json:"status"`
 }
 
-// JobStatusResponse reports one job's progress. Result is present only
-// once Status is "done".
+// JobStatusResponse reports one job's progress. Exactly one of Machine
+// / Machines is set, mirroring the submitted request; the matching
+// result field (Result for single-machine, MultiResult for
+// multi-machine) is present only once Status is "done".
 type JobStatusResponse struct {
-	ID         string         `json:"id"`
-	Status     string         `json:"status"`
-	Benchmark  string         `json:"benchmark"`
-	Machine    string         `json:"machine"`
-	Size       int            `json:"size"`
-	Iters      int            `json:"iters"`
-	Procs      []int          `json:"procs"`
-	TotalCells int            `json:"total_cells"`
-	DoneCells  int            `json:"done_cells"`
-	Error      string         `json:"error,omitempty"`
-	Result     *SweepResponse `json:"result,omitempty"`
+	ID          string              `json:"id"`
+	Status      string              `json:"status"`
+	Benchmark   string              `json:"benchmark"`
+	Machine     string              `json:"machine,omitempty"`
+	Machines    []string            `json:"machines,omitempty"`
+	Size        int                 `json:"size"`
+	Iters       int                 `json:"iters"`
+	Procs       []int               `json:"procs"`
+	TotalCells  int                 `json:"total_cells"`
+	DoneCells   int                 `json:"done_cells"`
+	Error       string              `json:"error,omitempty"`
+	Result      *SweepResponse      `json:"result,omitempty"`
+	MultiResult *MultiSweepResponse `json:"multi_result,omitempty"`
 }
 
 // requireJobs gates the jobs endpoints on the durable store.
@@ -62,18 +66,26 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, apiErr)
 		return
 	}
-	b, sz, env, ladder, apiErr := req.resolve()
+	b, sz, envs, ladder, apiErr := req.resolve()
 	if apiErr != nil {
 		writeError(w, apiErr)
 		return
 	}
-	id, err := s.jobs.Submit(jobs.Spec{
+	spec := jobs.Spec{
 		Benchmark: b.Name(),
 		Size:      sz.N,
 		Iters:     sz.Iters,
-		Machine:   env.Name,
 		Procs:     ladder,
-	})
+	}
+	if len(req.Machines) == 0 {
+		spec.Machine = envs[0].Name
+	} else {
+		spec.Machines = make([]string, len(envs))
+		for i, env := range envs {
+			spec.Machines[i] = env.Name
+		}
+	}
+	id, err := s.jobs.Submit(spec)
 	if err != nil {
 		writeError(w, errf(http.StatusServiceUnavailable, "job_rejected", "%v", err))
 		return
@@ -82,13 +94,16 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, JobSubmitResponse{ID: id, Status: string(jobs.StatusQueued)})
 }
 
-// jobResponse renders one job snapshot.
+// jobResponse renders one job snapshot. Both result shapes go through
+// buildSweepResponse, so a completed job's numbers are byte-identical
+// to the synchronous /v1/sweep response for the same request.
 func jobResponse(snap jobs.Snapshot) JobStatusResponse {
 	resp := JobStatusResponse{
 		ID:         snap.ID,
 		Status:     string(snap.Status),
 		Benchmark:  snap.Spec.Benchmark,
 		Machine:    snap.Spec.Machine,
+		Machines:   snap.Spec.Machines,
 		Size:       snap.Spec.Size,
 		Iters:      snap.Spec.Iters,
 		Procs:      snap.Spec.Procs,
@@ -96,10 +111,25 @@ func jobResponse(snap jobs.Snapshot) JobStatusResponse {
 		DoneCells:  snap.DoneCells,
 		Error:      snap.Error,
 	}
-	if snap.Status == jobs.StatusDone {
+	if snap.Status != jobs.StatusDone {
+		return resp
+	}
+	if len(snap.Spec.Machines) == 0 {
 		r := buildSweepResponse(snap.Spec.Benchmark, snap.Spec.Machine, snap.Spec.Size, snap.Spec.Iters, snap.Points)
 		resp.Result = &r
+		return resp
 	}
+	mr := MultiSweepResponse{
+		Benchmark: snap.Spec.Benchmark,
+		Size:      snap.Spec.Size,
+		Iters:     snap.Spec.Iters,
+		Curves:    make([]SweepCurve, len(snap.Spec.Machines)),
+	}
+	for i, name := range snap.Spec.Machines {
+		curve := buildSweepResponse(snap.Spec.Benchmark, name, snap.Spec.Size, snap.Spec.Iters, snap.Curves[i])
+		mr.Curves[i] = SweepCurve{Machine: name, Points: curve.Points}
+	}
+	resp.MultiResult = &mr
 	return resp
 }
 
@@ -127,6 +157,7 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	for i, snap := range snaps {
 		out[i] = jobResponse(snap)
 		out[i].Result = nil
+		out[i].MultiResult = nil
 	}
 	writeJSON(w, http.StatusOK, out)
 }

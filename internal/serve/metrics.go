@@ -25,6 +25,7 @@ type metricsSet struct {
 	jobsSubmitted *expvar.Int // jobs accepted via POST /v1/jobs
 	storeVars     *expvar.Map // artifact store hit/miss/evict/corrupt (set when a store is open)
 	jobsVars      *expvar.Map // jobs queued/running/done/failed (set when jobs are enabled)
+	batchVars     *expvar.Map // batched-sweep counters (batches, cells_batched, fallback_sequential)
 }
 
 func newMetricsSet() *metricsSet {
@@ -39,6 +40,7 @@ func newMetricsSet() *metricsSet {
 		jobsSubmitted: new(expvar.Int),
 		storeVars:     new(expvar.Map).Init(),
 		jobsVars:      new(expvar.Map).Init(),
+		batchVars:     new(expvar.Map).Init(),
 	}
 }
 
@@ -72,6 +74,12 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 	s.met.cacheMisses.Set(misses)
 
 	root := s.met.vars()
+	bs := s.svc.BatchStats()
+	bv := s.met.batchVars
+	setInt(bv, "batches", bs.Batches)
+	setInt(bv, "cells_batched", bs.CellsBatched)
+	setInt(bv, "fallback_sequential", bs.FallbackSequential)
+	root.Set("batch", bv)
 	if s.store != nil {
 		st := s.store.Stats()
 		sv := s.met.storeVars

@@ -56,6 +56,14 @@ type Config struct {
 	// Workers bounds the goroutines a sweep fans its ladder across;
 	// ≤ 0 selects GOMAXPROCS.
 	Workers int
+	// BatchSize > 1 enables batched sweep simulation: grid cells that
+	// share a measurement (same benchmark/size/threads under different
+	// machine models — multi-machine sweeps and jobs) advance up to
+	// BatchSize machine models per pass over the shared translated
+	// trace. Responses are byte-identical at any batch size; the knob
+	// trades the streaming path's per-cell bounded memory for sweep
+	// throughput. ≤ 1 keeps the per-cell streaming path.
+	BatchSize int
 	// CacheEntries bounds the measurement memo cache (LRU-evicted past
 	// the bound) so clients iterating request parameters cannot grow
 	// server memory without limit; ≤ 0 selects the default of 256.
@@ -140,6 +148,7 @@ func New(cfg Config) (*Server, error) {
 		met: newMetricsSet(),
 		log: logger,
 	}
+	s.svc.SetBatchSize(cfg.BatchSize)
 	if cfg.StoreDir != "" {
 		st, err := store.Open(cfg.StoreDir, cfg.StoreBytes)
 		if err != nil {
@@ -317,32 +326,53 @@ func (s *Server) handleExtrapolate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleSweep serves POST /v1/sweep.
+// handleSweep serves POST /v1/sweep. A request naming several machines
+// runs them as one grid sharing the ladder's measurements — the shape
+// where the batched simulation kernel engages — and answers one curve
+// per machine; a single-machine request keeps the original response
+// shape, byte-identical at any batch size.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
 	if apiErr := decodeJSON(r, &req); apiErr != nil {
 		writeError(w, apiErr)
 		return
 	}
-	b, sz, env, ladder, apiErr := req.resolve()
+	b, sz, envs, ladder, apiErr := req.resolve()
 	if apiErr != nil {
 		writeError(w, apiErr)
 		return
 	}
-	job := experiments.SweepJob{
-		Name:    b.Name(),
-		Size:    sz,
-		Factory: b.Factory(sz),
-		Mode:    pcxx.ActualSize,
-		Cfg:     env.Config,
-		Procs:   ladder,
+	grid := make([]experiments.SweepJob, len(envs))
+	for i, env := range envs {
+		grid[i] = experiments.SweepJob{
+			Name:    b.Name(),
+			Size:    sz,
+			Factory: b.Factory(sz),
+			Mode:    pcxx.ActualSize,
+			Cfg:     env.Config,
+			Procs:   ladder,
+		}
 	}
-	points, err := s.svc.Sweep(r.Context(), job)
+	series, err := s.svc.SweepGrid(r.Context(), grid)
 	if err != nil {
 		writeError(w, pipelineError(err))
 		return
 	}
-	writeJSON(w, http.StatusOK, buildSweepResponse(b.Name(), env.Name, sz.N, sz.Iters, points))
+	if len(req.Machines) == 0 {
+		writeJSON(w, http.StatusOK, buildSweepResponse(b.Name(), envs[0].Name, sz.N, sz.Iters, series[0]))
+		return
+	}
+	resp := MultiSweepResponse{
+		Benchmark: b.Name(),
+		Size:      sz.N,
+		Iters:     sz.Iters,
+		Curves:    make([]SweepCurve, len(envs)),
+	}
+	for i, env := range envs {
+		curve := buildSweepResponse(b.Name(), env.Name, sz.N, sz.Iters, series[i])
+		resp.Curves[i] = SweepCurve{Machine: env.Name, Points: curve.Points}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // buildSweepResponse renders a sweep series. It is the single rendering

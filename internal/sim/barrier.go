@@ -84,7 +84,7 @@ func (e *engine) barrierEnter(t *thr, id int64) {
 			release := b.maxArrive + bc.HardwareTime
 			for i := range e.threads {
 				th := &e.threads[i]
-				e.fel.schedule(release+bc.ExitTime, evResume, th.id, th.gen, nil)
+				e.fel.schedule(release+bc.ExitTime, evResume, int32(th.id), th.gen, noMsg)
 			}
 		}
 
@@ -106,7 +106,7 @@ func (e *engine) barrierEnter(t *thr, id int64) {
 					if th.id != 0 {
 						exit += bc.ExitCheckTime
 					}
-					e.fel.schedule(exit, evResume, th.id, th.gen, nil)
+					e.fel.schedule(exit, evResume, int32(th.id), th.gen, noMsg)
 				}
 			}
 			return
@@ -139,7 +139,7 @@ func (e *engine) barrierEnter(t *thr, id int64) {
 				for i := range e.threads {
 					th := &e.threads[i]
 					exit := release + depth*bc.ExitCheckTime + bc.ExitTime
-					e.fel.schedule(exit, evResume, th.id, th.gen, nil)
+					e.fel.schedule(exit, evResume, int32(th.id), th.gen, noMsg)
 				}
 			}
 			return
@@ -178,7 +178,7 @@ func (e *engine) checkLinearComplete(b *barSt) {
 		e.emit(at, trace.KindMsgSend, 0, int64(s), bc.MsgSize, int64(mBarRelease))
 	}
 	master := &e.threads[0]
-	e.fel.schedule(at+bc.ExitTime, evResume, 0, master.gen, nil)
+	e.fel.schedule(at+bc.ExitTime, evResume, 0, master.gen, noMsg)
 }
 
 // barrierArriveServiced is called when a barrier arrival message has been
@@ -252,7 +252,7 @@ func (e *engine) treeRelease(b *barSt, node int, at vtime.Time) {
 		e.emit(at, trace.KindMsgSend, node, int64(c), bc.MsgSize, int64(mBarRelease))
 	}
 	t := &e.threads[node]
-	e.fel.schedule(at+bc.ExitTime, evResume, node, t.gen, nil)
+	e.fel.schedule(at+bc.ExitTime, evResume, int32(node), t.gen, noMsg)
 }
 
 // barrierReleaseArrive handles a release message reaching a waiting
@@ -272,7 +272,7 @@ func (e *engine) barrierReleaseArrive(m *message) {
 		// treeRelease scheduled the exit (after forwarding to children).
 		return
 	}
-	e.fel.schedule(noticed+bc.ExitTime, evResume, t.id, t.gen, nil)
+	e.fel.schedule(noticed+bc.ExitTime, evResume, int32(t.id), t.gen, noMsg)
 }
 
 // resumeFromBarrier completes t's barrier: the pending barrier-exit trace

@@ -31,24 +31,42 @@ type message struct {
 	delivered bool // NI queueing applied
 }
 
-// msgSlab hands out message structs carved from block allocations,
-// replacing one heap allocation per simulated message with one per
-// msgSlabSize messages. Messages are never recycled — they stay alive
-// until the engine is discarded — so a handed-out pointer is always safe
-// to hold.
+// msgSlab hands out messages carved from block allocations, replacing
+// one heap allocation per simulated message with one per msgSlabSize
+// messages. Messages are addressed by dense index — the future event
+// list stores the index, not a pointer, keeping heap events free of GC
+// write barriers. Messages are never recycled within a run, so an index
+// is always valid until the engine is discarded or the slab reset;
+// blocks already allocated are retained across resets for arena reuse.
 const msgSlabSize = 256
 
-type msgSlab struct{ block []message }
-
-func (s *msgSlab) new(kind msgKind, src, dst int, bytes, barrier int64) *message {
-	if len(s.block) == 0 {
-		s.block = make([]message, msgSlabSize)
-	}
-	m := &s.block[0]
-	s.block = s.block[1:]
-	m.kind, m.src, m.dst, m.bytes, m.barrier = kind, src, dst, bytes, barrier
-	return m
+type msgSlab struct {
+	blocks [][]message
+	used   int // messages handed out this run
 }
+
+func (s *msgSlab) new(kind msgKind, src, dst int, bytes, barrier int64) int32 {
+	if s.used == len(s.blocks)*msgSlabSize {
+		s.blocks = append(s.blocks, make([]message, msgSlabSize))
+	}
+	idx := s.used
+	s.used++
+	m := &s.blocks[idx/msgSlabSize][idx%msgSlabSize]
+	// Full overwrite: blocks are reused across arena resets, so every
+	// field — delivered included — must be set, not assumed zero.
+	*m = message{kind: kind, src: src, dst: dst, bytes: bytes, barrier: barrier}
+	return int32(idx)
+}
+
+// at resolves a slab index. Taking a new pointer per use is safe: blocks
+// never move once allocated (growing appends a block, it does not copy
+// messages).
+func (s *msgSlab) at(i int32) *message {
+	return &s.blocks[int(i)/msgSlabSize][int(i)%msgSlabSize]
+}
+
+// reset forgets all handed-out messages, keeping the blocks for reuse.
+func (s *msgSlab) reset() { s.used = 0 }
 
 // tstate is a simulated thread's execution state.
 type tstate uint8
@@ -75,7 +93,7 @@ type thr struct {
 	curOK    bool
 	prevT    vtime.Time // translated-trace time of the last consumed event
 	state    tstate
-	gen      uint64     // invalidates superseded compute-done/poll events
+	gen      uint32     // invalidates superseded compute-done/poll events
 	segEnd   vtime.Time // absolute end of the current compute run
 	pureLeft vtime.Time // pure compute remaining beyond the current run (Poll)
 	blockAt  vtime.Time // when the thread last blocked (stats)
@@ -91,12 +109,15 @@ func (t *thr) hasCur() bool {
 	return t.curOK
 }
 
-// peek returns the current event; valid only when hasCur.
-func (t *thr) peek() trace.Event {
+// peek returns the current event; valid only when hasCur. The pointer
+// is into the event slice (slice mode) or the cursor register (streaming
+// mode) — in streaming mode it is invalidated by advance/consume, so
+// callers copy any field they need past a consume.
+func (t *thr) peek() *trace.Event {
 	if t.src == nil {
-		return t.evs[t.pos]
+		return &t.evs[t.pos]
 	}
-	return t.cur
+	return &t.cur
 }
 
 // advance moves t's cursor past the current event. In streaming mode a
@@ -126,7 +147,7 @@ type prc struct {
 	current  int // thread id computing now, -1 if none
 	last     int // last thread that computed (context switch detection)
 	runq     []int
-	svcQueue []*message
+	svcQueue []int32 // msgSlab indices
 	// svcBusyUntil serializes message handling on this processor.
 	svcBusyUntil vtime.Time
 }
@@ -150,6 +171,97 @@ type engine struct {
 	now     vtime.Time
 	done    int
 	fail    error // sticky mid-stream source error (streaming mode)
+	// cont is the continuation register: the one event runSegment just
+	// produced, held out of the heap. The event loop dispatches it
+	// directly when it precedes everything queued (the overwhelmingly
+	// common compute-segment ping-pong), skipping the insert/pop round
+	// trip; otherwise it is inserted with its already-reserved seq, so
+	// ordering is identical to scheduling eagerly.
+	cont   event
+	contOK bool
+}
+
+// Arena holds the dense simulator state — thread and processor records,
+// the future event list, barrier slots, and the message slab — so
+// repeated simulations (batch lanes, sequential sweep cells) reuse the
+// same allocations instead of rebuilding ~0.5 MB of state per run.
+// Every record is fully reinitialized when acquired, so results are
+// bit-identical to a fresh engine. An Arena is not safe for concurrent
+// use; share one per goroutine.
+type Arena struct {
+	threads []thr
+	procs   []prc
+	bars    []barSt
+	felq    []event
+	msgs    msgSlab
+}
+
+// NewArena returns an empty arena; state is allocated on first use and
+// grown as needed.
+func NewArena() *Arena { return &Arena{} }
+
+// acquire attaches the arena's recycled state to e, reinitializing
+// everything a fresh engine would have zero. Inner slices owned by
+// retained records (per-processor queues, tree-barrier tables) are kept
+// and re-zeroed where they are re-armed (see prc setup and bar()).
+func (a *Arena) acquire(e *engine, n, nprocs, barriersHint int) {
+	if cap(a.threads) < n {
+		a.threads = make([]thr, n)
+	}
+	e.threads = a.threads[:n]
+	for i := range e.threads {
+		e.threads[i] = thr{}
+	}
+	if cap(a.procs) < nprocs {
+		a.procs = make([]prc, nprocs)
+	}
+	e.procs = a.procs[:nprocs]
+	for i := range e.procs {
+		p := &e.procs[i]
+		*p = prc{
+			threads:  p.threads[:0],
+			runq:     p.runq[:0],
+			svcQueue: p.svcQueue[:0],
+		}
+	}
+	// Barrier slots keep their tree tables (reset lazily in bar()) but
+	// drop all per-run scalar state, including the used marker.
+	if cap(a.bars) < barriersHint {
+		grown := make([]barSt, barriersHint)
+		copy(grown, a.bars)
+		a.bars = grown
+	}
+	e.bars = a.bars[:cap(a.bars)]
+	for i := range e.bars {
+		b := &e.bars[i]
+		*b = barSt{
+			childGot:    b.childGot,
+			nodeEntered: b.nodeEntered,
+			nodeFreeAt:  b.nodeFreeAt,
+			releaseSent: b.releaseSent,
+		}
+	}
+	e.fel.q = a.felq[:0]
+	e.fel.topOK = false
+	e.fel.nextSq = 0
+	a.msgs.reset()
+	e.msgs = a.msgs
+}
+
+// release returns e's (possibly grown) state to the arena.
+func (a *Arena) release(e *engine) {
+	a.threads = e.threads[:cap(e.threads)]
+	a.procs = e.procs[:cap(e.procs)]
+	a.bars = e.bars[:cap(e.bars)]
+	a.felq = e.fel.q[:0]
+	a.msgs = e.msgs
+}
+
+// Reset drops per-run state so the arena can be reused; allocations are
+// retained. Calling Reset is optional — acquire reinitializes
+// everything — but makes the lifecycle explicit for long-held arenas.
+func (a *Arena) Reset() {
+	a.msgs.reset()
 }
 
 // Simulate replays the translated parallel trace against the target
@@ -175,7 +287,108 @@ const ctxCheckMask = 1<<13 - 1
 // per-request simulation time.
 func SimulateContext(ctx context.Context, pt *translate.ParallelTrace, cfg Config) (*Result, error) {
 	return simulate(ctx, cfg, pt.NumThreads, pt.Phases, pt.Barriers, pt.Events(),
-		func(t *thr, i int) { t.evs = pt.Threads[i] })
+		func(t *thr, i int) { t.evs = pt.Threads[i] }, nil)
+}
+
+// SimulateArena is Simulate drawing its dense state from a — reusing the
+// thread/processor/barrier tables, event list, and message slab across
+// runs so repeated simulations of sweep cells allocate almost nothing.
+// Results are bit-identical to Simulate.
+func SimulateArena(a *Arena, pt *translate.ParallelTrace, cfg Config) (*Result, error) {
+	return SimulateArenaContext(context.Background(), a, pt, cfg)
+}
+
+// SimulateArenaContext is SimulateArena with a cancellation point.
+func SimulateArenaContext(ctx context.Context, a *Arena, pt *translate.ParallelTrace, cfg Config) (*Result, error) {
+	return simulate(ctx, cfg, pt.NumThreads, pt.Phases, pt.Barriers, pt.Events(),
+		func(t *thr, i int) { t.evs = pt.Threads[i] }, a)
+}
+
+// SimulateBatch replays one translated trace under K machine
+// configurations in a single call: the per-thread event slices are
+// shared read-only across all K lanes while each lane advances its own
+// future-event-list and dense thread/processor/barrier state, recycled
+// through one arena so allocations stay flat in K. Lane i's Result is
+// bit-identical to Simulate(pt, cfgs[i]); a lane configuration error
+// aborts the batch with that lane's error.
+func SimulateBatch(pt *translate.ParallelTrace, cfgs []Config) ([]*Result, error) {
+	return SimulateBatchContext(context.Background(), pt, cfgs)
+}
+
+// SimulateBatchContext is SimulateBatch with a cancellation point,
+// polled within each lane.
+func SimulateBatchContext(ctx context.Context, pt *translate.ParallelTrace, cfgs []Config) ([]*Result, error) {
+	out := make([]*Result, len(cfgs))
+	a := NewArena()
+	for i, cfg := range cfgs {
+		res, err := SimulateArenaContext(ctx, a, pt, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sim: batch lane %d: %w", i, err)
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// SimulateBatchStream is SimulateBatch over streaming cursors. Per-thread
+// cursors are single-shot, so the source is drained exactly once into
+// materialized per-thread slices which the K lanes then share — batching
+// trades the streaming path's bounded memory for one resident copy of
+// the translated trace. Lane results are bit-identical to
+// SimulateStream on an equivalent source.
+func SimulateBatchStream(src Source, cfgs []Config) ([]*Result, error) {
+	return SimulateBatchStreamContext(context.Background(), src, cfgs)
+}
+
+// SimulateBatchStreamContext is SimulateBatchStream with a cancellation
+// point.
+func SimulateBatchStreamContext(ctx context.Context, src Source, cfgs []Config) ([]*Result, error) {
+	pt, err := materialize(src)
+	if err != nil {
+		return nil, err
+	}
+	return SimulateBatchContext(ctx, pt, cfgs)
+}
+
+// materialize drains a streaming source into a ParallelTrace usable by
+// the slice fast path. Cursors are consumed round-robin, one event per
+// thread per round, so a translate stream's bounded cross-thread
+// buffering (consumer skew stays within one event per thread) is never
+// exceeded.
+func materialize(src Source) (*translate.ParallelTrace, error) {
+	n := src.NumThreads()
+	pt := &translate.ParallelTrace{
+		NumThreads: n,
+		Threads:    make([][]trace.Event, n),
+		Phases:     append([]string(nil), src.Phases()...),
+	}
+	readers := make([]trace.Reader, n)
+	for i := range readers {
+		readers[i] = src.Thread(i)
+	}
+	maxBar := int64(-1)
+	for live := n; live > 0; {
+		for i := 0; i < n; i++ {
+			if readers[i] == nil {
+				continue
+			}
+			ev, err := readers[i].Next()
+			if err == io.EOF {
+				readers[i] = nil
+				live--
+				continue
+			}
+			if err != nil {
+				return nil, fmt.Errorf("sim: batch materialize thread %d: %w", i, err)
+			}
+			if ev.Kind == trace.KindBarrierEntry && ev.Arg0 > maxBar {
+				maxBar = ev.Arg0
+			}
+			pt.Threads[i] = append(pt.Threads[i], ev)
+		}
+	}
+	pt.Barriers = int(maxBar + 1)
+	return pt, nil
 }
 
 // Source provides translated per-thread event cursors to a streaming
@@ -199,14 +412,15 @@ func SimulateStream(src Source, cfg Config) (*Result, error) {
 // SimulateStreamContext is SimulateStream with a cancellation point.
 func SimulateStreamContext(ctx context.Context, src Source, cfg Config) (*Result, error) {
 	return simulate(ctx, cfg, src.NumThreads(), src.Phases(), 0, 0,
-		func(t *thr, i int) { t.src = src.Thread(i) })
+		func(t *thr, i int) { t.src = src.Thread(i) }, nil)
 }
 
 // simulate is the engine core shared by the slice and streaming entry
 // points: bind attaches thread i's event cursor (either mode) to its
 // state record. barriersHint/eventsHint pre-size internal tables and may
-// be zero when unknown (streaming).
-func simulate(ctx context.Context, cfg Config, n int, phases []string, barriersHint, eventsHint int, bind func(t *thr, i int)) (*Result, error) {
+// be zero when unknown (streaming). A non-nil arena supplies recycled
+// dense state; nil allocates fresh.
+func simulate(ctx context.Context, cfg Config, n int, phases []string, barriersHint, eventsHint int, bind func(t *thr, i int), arena *Arena) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -231,9 +445,16 @@ func simulate(ctx context.Context, cfg Config, n int, phases []string, barriersH
 		cfg:    cfg,
 		n:      n,
 		nprocs: nprocs,
-		bars:   make([]barSt, 0, barriersHint),
 	}
-	e.fel.q = make([]event, 0, 4*n)
+	if arena != nil {
+		arena.acquire(e, n, nprocs, barriersHint)
+		defer arena.release(e)
+	} else {
+		e.bars = make([]barSt, 0, barriersHint)
+		e.fel.q = make([]event, 0, 4*n)
+		e.procs = make([]prc, nprocs)
+		e.threads = make([]thr, n)
+	}
 	var err error
 	if e.inter, err = network.New(cfg.Comm, nprocs); err != nil {
 		return nil, err
@@ -253,13 +474,11 @@ func simulate(ctx context.Context, cfg Config, n int, phases []string, barriersH
 	}
 
 	perProc := n / nprocs
-	e.procs = make([]prc, nprocs)
 	for p := range e.procs {
 		e.procs[p].id = p
 		e.procs[p].current = -1
 		e.procs[p].last = -1
 	}
-	e.threads = make([]thr, n)
 	for i := 0; i < n; i++ {
 		p := placeThread(cfg.Placement, i, n, nprocs, perProc)
 		t := &e.threads[i]
@@ -283,7 +502,9 @@ func simulate(ctx context.Context, cfg Config, n int, phases []string, barriersH
 		e.procs[p].threads = append(e.procs[p].threads, i)
 	}
 	for p := range e.procs {
-		e.procs[p].runq = make([]int, 0, len(e.procs[p].threads))
+		if cap(e.procs[p].runq) < len(e.procs[p].threads) {
+			e.procs[p].runq = make([]int, 0, len(e.procs[p].threads))
+		}
 	}
 
 	// Launch: every thread wants the CPU at time 0 for its first (empty)
@@ -300,8 +521,20 @@ func simulate(ctx context.Context, cfg Config, n int, phases []string, barriersH
 
 	const maxEvents = 1 << 28 // runaway-guard far above any real workload
 	steps := 0
-	for !e.fel.empty() {
-		ev := e.fel.pop()
+	for {
+		var ev event
+		if e.contOK {
+			ev = e.cont
+			e.contOK = false
+			if !e.fel.wouldPopNext(&ev) {
+				e.fel.insert(ev)
+				ev = e.fel.pop()
+			}
+		} else if !e.fel.empty() {
+			ev = e.fel.pop()
+		} else {
+			break
+		}
 		if ev.at < e.now {
 			return nil, fmt.Errorf("sim: time ran backwards: %v after %v", ev.at, e.now)
 		}
@@ -463,15 +696,25 @@ func (e *engine) runSegment(t *thr, at vtime.Time) {
 	t.state = tsComputing
 	t.gen++
 	pol := &e.cfg.Policy
+	kind := evComputeDone
 	if pol.Kind == Poll && t.pureLeft > pol.PollInterval {
 		t.pureLeft -= pol.PollInterval
 		t.segEnd = at + pol.PollInterval
-		e.fel.schedule(t.segEnd, evPollTick, t.id, t.gen, nil)
-		return
+		kind = evPollTick
+	} else {
+		t.segEnd = at + t.pureLeft
+		t.pureLeft = 0
 	}
-	t.segEnd = at + t.pureLeft
-	t.pureLeft = 0
-	e.fel.schedule(t.segEnd, evComputeDone, t.id, t.gen, nil)
+	// Park the segment-end event in the continuation register rather than
+	// the heap. Its seq is reserved now, so if another runSegment (or any
+	// schedule) intervenes before the event loop consumes it, flushing it
+	// into the heap reproduces the eager-scheduling order exactly.
+	ev := event{at: t.segEnd, seq: e.fel.nextSq, kind: kind, thread: int32(t.id), gen: t.gen, msg: noMsg}
+	e.fel.nextSq++
+	if e.contOK {
+		e.fel.insert(e.cont)
+	}
+	e.cont, e.contOK = ev, true
 }
 
 // pollTick fires at a poll boundary: pay the poll overhead, service the
@@ -493,8 +736,8 @@ func (e *engine) drainQueue(p *prc, from vtime.Time) vtime.Time {
 	if p.svcBusyUntil < from {
 		p.svcBusyUntil = from
 	}
-	for _, m := range p.svcQueue {
-		e.serviceMessage(p, m, p.svcBusyUntil)
+	for _, mi := range p.svcQueue {
+		e.serviceMessage(p, e.msgs.at(mi), p.svcBusyUntil)
 	}
 	p.svcQueue = p.svcQueue[:0]
 	return p.svcBusyUntil
@@ -536,8 +779,9 @@ func (e *engine) handleEvent(t *thr) {
 		e.remoteWrite(t, ev)
 
 	case trace.KindBarrierEntry:
+		id := ev.Arg0 // copy: consume invalidates ev in streaming mode
 		e.consume(t, ev)
-		e.barrierEnter(t, ev.Arg0)
+		e.barrierEnter(t, id)
 
 	case trace.KindBarrierExit:
 		// Exits are consumed by the release path; reaching one here means
@@ -553,7 +797,7 @@ func (e *engine) handleEvent(t *thr) {
 }
 
 // consume advances t past ev.
-func (e *engine) consume(t *thr, ev trace.Event) {
+func (e *engine) consume(t *thr, ev *trace.Event) {
 	t.prevT = ev.Time
 	e.advance(t)
 }
@@ -599,7 +843,7 @@ func (e *engine) block(t *thr, state tstate, cpuFreeAt vtime.Time) {
 
 // remoteRead simulates t hitting a remote element read: construct and
 // inject a request to the owner, then wait for the reply.
-func (e *engine) remoteRead(t *thr, ev trace.Event) {
+func (e *engine) remoteRead(t *thr, ev *trace.Event) {
 	owner := int(ev.Arg0)
 	ownerProc := e.threads[owner].proc
 	if ownerProc == t.proc {
@@ -627,7 +871,7 @@ func (e *engine) remoteRead(t *thr, ev trace.Event) {
 // remoteWrite simulates the fire-and-forget remote write extension: the
 // writer pays the send overhead and continues; the owner services the
 // write when it arrives.
-func (e *engine) remoteWrite(t *thr, ev trace.Event) {
+func (e *engine) remoteWrite(t *thr, ev *trace.Event) {
 	owner := int(ev.Arg0)
 	ownerProc := e.threads[owner].proc
 	t.stats.RemoteWrites++
@@ -655,14 +899,15 @@ func (e *engine) remoteWrite(t *thr, ev trace.Event) {
 // msgArrive handles a message reaching its destination processor. The
 // first firing applies NI receive-queue serialization; the (possibly
 // rescheduled) delivered firing dispatches on message kind.
-func (e *engine) msgArrive(m *message) {
+func (e *engine) msgArrive(mi int32) {
+	m := e.msgs.at(mi)
 	dstProc := e.threads[m.dst].proc
 	if !m.delivered {
 		m.delivered = true
 		srcProc := e.threads[m.src].proc
 		avail := e.netFor(srcProc, dstProc).Deliver(e.now, dstProc)
 		if avail > e.now {
-			e.fel.schedule(avail, evMsgArrive, 0, 0, m)
+			e.fel.schedule(avail, evMsgArrive, 0, 0, mi)
 			return
 		}
 	}
@@ -675,13 +920,13 @@ func (e *engine) msgArrive(m *message) {
 	default:
 		// CPU-handled messages: remote requests and barrier arrivals.
 		e.emit(e.now, trace.KindMsgRecv, m.dst, int64(m.src), m.bytes, int64(m.kind))
-		e.requestArrive(m)
+		e.requestArrive(mi, m)
 	}
 }
 
 // requestArrive routes a CPU-handled message through the service policy of
 // the destination processor.
-func (e *engine) requestArrive(m *message) {
+func (e *engine) requestArrive(mi int32, m *message) {
 	p := &e.procs[e.threads[m.dst].proc]
 	cur := p.current
 	if cur == -1 || e.threads[cur].state != tsComputing {
@@ -702,12 +947,12 @@ func (e *engine) requestArrive(m *message) {
 		e.threads[m.dst].stats.Service += e.cfg.Policy.InterruptOverhead
 		t.gen++
 		if t.pureLeft > 0 {
-			e.fel.schedule(t.segEnd, evPollTick, t.id, t.gen, nil)
+			e.fel.schedule(t.segEnd, evPollTick, int32(t.id), t.gen, noMsg)
 		} else {
-			e.fel.schedule(t.segEnd, evComputeDone, t.id, t.gen, nil)
+			e.fel.schedule(t.segEnd, evComputeDone, int32(t.id), t.gen, noMsg)
 		}
 	default: // NoInterrupt and Poll queue until a service opportunity.
-		p.svcQueue = append(p.svcQueue, m)
+		p.svcQueue = append(p.svcQueue, mi)
 	}
 }
 

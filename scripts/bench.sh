@@ -4,7 +4,7 @@
 # the per-benchmark budget.
 set -e
 
-PATTERN="${BENCH_PATTERN:-BenchmarkSimulation\$|BenchmarkFullPipeline\$|BenchmarkTraceCodec|BenchmarkFig7MgridStartup\$|BenchmarkStreamPipelineMemory\$|BenchmarkStoreRoundTrip\$}"
+PATTERN="${BENCH_PATTERN:-BenchmarkSimulation\$|BenchmarkSimulationArena\$|BenchmarkSweepBatch\$|BenchmarkFullPipeline\$|BenchmarkTraceCodec|BenchmarkFig7MgridStartup\$|BenchmarkStreamPipelineMemory\$|BenchmarkStoreRoundTrip\$}"
 TIME="${BENCHTIME:-1s}"
 
 go test -run '^$' -bench "$PATTERN" -benchtime "$TIME" -benchmem . |

@@ -44,6 +44,40 @@ func TestCompareSpeedupIsNoteOnly(t *testing.T) {
 	}
 }
 
+// Low-iteration benchmarks (BenchmarkStreamPipelineMemory completes 2
+// iterations per benchtime) get a doubled ns/op band: their mean is a
+// small-sample estimate, and the standard band would flake on scheduler
+// noise alone.
+func TestCompareLowIterWidensNsBand(t *testing.T) {
+	base := []Result{{Name: "BenchmarkStreamPipelineMemory", Iters: 2, NsPerOp: 1000, AllocsPerOp: 50}}
+
+	cur := []Result{{Name: "BenchmarkStreamPipelineMemory", Iters: 2, NsPerOp: 1400, AllocsPerOp: 50}}
+	rep := Compare(base, cur, 0.25, true, true)
+	if len(rep.Failures) != 0 {
+		t.Fatalf("failures = %v, want none (+40%% within the doubled 50%% band)", rep.Failures)
+	}
+
+	cur = []Result{{Name: "BenchmarkStreamPipelineMemory", Iters: 2, NsPerOp: 1600, AllocsPerOp: 50}}
+	rep = Compare(base, cur, 0.25, true, true)
+	if len(rep.Failures) != 1 || !strings.Contains(rep.Failures[0], "band doubled") {
+		t.Fatalf("failures = %v, want one annotated ns/op failure past the doubled band", rep.Failures)
+	}
+
+	// The widening keys off either side: a baseline from a healthy run
+	// still tolerates a current snapshot that barely iterated.
+	base = []Result{res("BenchmarkStreamPipelineMemory", 1000, 50)}
+	cur = []Result{{Name: "BenchmarkStreamPipelineMemory", Iters: 3, NsPerOp: 1400, AllocsPerOp: 50}}
+	if rep := Compare(base, cur, 0.25, true, true); len(rep.Failures) != 0 {
+		t.Fatalf("failures = %v, want none when the current run is low-iteration", rep.Failures)
+	}
+
+	// allocs/op stays a hard ceiling regardless of iteration count.
+	cur = []Result{{Name: "BenchmarkStreamPipelineMemory", Iters: 2, NsPerOp: 1000, AllocsPerOp: 51}}
+	if rep := Compare(base, cur, 0.25, true, true); len(rep.Failures) != 1 {
+		t.Fatalf("failures = %v, want the alloc ceiling to hold at low iterations", rep.Failures)
+	}
+}
+
 func TestCompareAllocCeilingIsHard(t *testing.T) {
 	base := []Result{res("BenchmarkSimulation", 1000, 77)}
 	cur := []Result{res("BenchmarkSimulation", 1000, 78)} // +1 alloc
