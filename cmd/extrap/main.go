@@ -199,7 +199,8 @@ func sizeMode(s string) pcxx.SizeMode {
 	return pcxx.ActualSize
 }
 
-// readTrace loads a trace in either codec, by extension then by sniffing.
+// readTrace loads a trace in any codec — XTRP1 or XTRP2 binary
+// (detected by magic), or text — by extension then by sniffing.
 func readTrace(path string) (*trace.Trace, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -209,7 +210,7 @@ func readTrace(path string) (*trace.Trace, error) {
 	if filepath.Ext(path) == ".txt" {
 		return trace.ReadText(f)
 	}
-	tr, err := trace.ReadBinary(f)
+	tr, err := trace.ReadBinaryAny(f)
 	if err == trace.ErrBadMagic {
 		if _, serr := f.Seek(0, 0); serr != nil {
 			return nil, serr
@@ -326,7 +327,7 @@ func cmdSimulate(args []string, out io.Writer) error {
 			return err
 		}
 		defer f.Close()
-		d, err := trace.NewDecoder(bufio.NewReader(f))
+		d, err := trace.NewAnyDecoder(bufio.NewReader(f))
 		if err != nil {
 			return err
 		}
@@ -624,6 +625,7 @@ func parseExperimentFlags(args []string) (opts experiments.Options, id, csvDir, 
 	csv := fs.String("csv", "", "also write each table as CSV into this directory")
 	svg := fs.String("svg", "", "also write each figure as SVG into this directory")
 	storeFlag := fs.String("store", "", "durable artifact store directory: measurements persist there and repeated runs reuse them instead of re-measuring (empty = in-memory only)")
+	formatFlag := fs.String("trace-format", "", "run over an encoded trace cache in this wire format (xtrp1|xtrp2); output is byte-identical to the default in-memory run (empty = in-memory)")
 	if err = fs.Parse(args); err != nil {
 		return opts, "", "", "", "", err
 	}
@@ -633,7 +635,13 @@ func parseExperimentFlags(args []string) (opts experiments.Options, id, csvDir, 
 	if fs.NArg() != 1 {
 		return opts, "", "", "", "", fmt.Errorf("experiment: exactly one experiment id (or \"all\") required")
 	}
-	return experiments.Options{Quick: *quick, Workers: *workers, BatchSize: *batch}, fs.Arg(0), *csv, *svg, *storeFlag, nil
+	var tf trace.Format
+	if *formatFlag != "" {
+		if tf, err = trace.ParseFormat(*formatFlag); err != nil {
+			return opts, "", "", "", "", fmt.Errorf("experiment: %w", err)
+		}
+	}
+	return experiments.Options{Quick: *quick, Workers: *workers, BatchSize: *batch, TraceFormat: tf}, fs.Arg(0), *csv, *svg, *storeFlag, nil
 }
 
 func cmdExperiment(args []string, w io.Writer) error {

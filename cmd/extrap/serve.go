@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"extrap/internal/serve"
+	"extrap/internal/trace"
 )
 
 // cmdServe runs the extrapolation service: a JSON-over-HTTP API backed
@@ -30,6 +31,7 @@ func cmdServe(args []string, out io.Writer) error {
 	storeDir := fs.String("store-dir", "", "durable artifact store directory; enables on-disk trace/prediction reuse and the async jobs API (empty = in-memory only)")
 	storeBytes := fs.Int64("store-bytes", 0, "artifact store on-disk budget in bytes, LRU-evicted past it (0 = unlimited)")
 	jobWorkers := fs.Int("jobs-workers", 1, "concurrently executing async jobs (requires -store-dir)")
+	traceFormat := fs.String("trace-format", "xtrp2", "wire format for cached measurement traces: xtrp2 (loop-compacted) or xtrp1 (flat records); predictions are byte-identical either way")
 	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,6 +57,10 @@ func cmdServe(args []string, out io.Writer) error {
 	if *jobWorkers < 1 {
 		return fmt.Errorf("serve: -jobs-workers must be ≥ 1, got %d", *jobWorkers)
 	}
+	tf, err := trace.ParseFormat(*traceFormat)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
 
 	srv, err := serve.New(serve.Config{
 		MaxInFlight:    *maxInflight,
@@ -67,6 +73,7 @@ func cmdServe(args []string, out io.Writer) error {
 		StoreDir:       *storeDir,
 		StoreBytes:     *storeBytes,
 		JobWorkers:     *jobWorkers,
+		TraceFormat:    tf,
 		EnablePprof:    *pprofFlag,
 	})
 	if err != nil {

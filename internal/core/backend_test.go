@@ -12,37 +12,42 @@ import (
 
 // fakeBackend is an in-memory TraceBackend recording its traffic, so
 // tests can assert exactly when the durable tier is consulted and what
-// is written through.
+// is written through. Like the real store, it keys each trace format
+// separately via CanonicalFormat.
 type fakeBackend struct {
 	mu   sync.Mutex
-	data map[CacheKey][]byte
+	data map[string][]byte
 	gets int
 	puts int
 }
 
 func newFakeBackend() *fakeBackend {
-	return &fakeBackend{data: make(map[CacheKey][]byte)}
+	return &fakeBackend{data: make(map[string][]byte)}
 }
 
-func (b *fakeBackend) GetTrace(key CacheKey) ([]byte, bool) {
+func (b *fakeBackend) GetTrace(key CacheKey, format trace.Format) ([]byte, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.gets++
-	enc, ok := b.data[key]
+	enc, ok := b.data[key.CanonicalFormat(format)]
 	return enc, ok
 }
 
-func (b *fakeBackend) PutTrace(key CacheKey, enc []byte) {
+func (b *fakeBackend) PutTrace(key CacheKey, format trace.Format, enc []byte) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.puts++
-	b.data[key] = enc
+	b.data[key.CanonicalFormat(format)] = enc
 }
 
 func (b *fakeBackend) stored(key CacheKey) ([]byte, bool) {
+	return b.storedFormat(key, trace.FormatXTRP1)
+}
+
+func (b *fakeBackend) storedFormat(key CacheKey, format trace.Format) ([]byte, bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	enc, ok := b.data[key]
+	enc, ok := b.data[key.CanonicalFormat(format)]
 	return enc, ok
 }
 
@@ -293,5 +298,90 @@ func TestEncodedWriteThroughAndBudget(t *testing.T) {
 	gets, _ := b.counts()
 	if gets != 2 {
 		t.Errorf("backend consulted %d times, want 2 (one per cache, budget failure memoized)", gets)
+	}
+}
+
+// TestXTRP2CacheFormat: an XTRP2-format cache writes XTRP2 artifacts
+// under the v2 key, serves them back to a cold cache, and falls back to
+// a store's pre-migration XTRP1 artifact when no v2 artifact exists —
+// with byte-identical decoded traces throughout.
+func TestXTRP2CacheFormat(t *testing.T) {
+	b := newFakeBackend()
+	warm := NewEncodedTraceCache(4, 0)
+	warm.SetFormat(trace.FormatXTRP2)
+	warm.SetBackend(b)
+	key := CacheKey{Bench: "fmt2", Threads: 4}
+	measure := func() (*trace.Trace, error) {
+		return Measure(testProgram(4), MeasureOptions{})
+	}
+	enc, err := warm.Encoded(key, measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.NewDecoder2(bytes.NewReader(enc)); err != nil {
+		t.Fatalf("XTRP2-format cache served non-XTRP2 bytes: %v", err)
+	}
+	if _, ok := b.storedFormat(key, trace.FormatXTRP2); !ok {
+		t.Fatal("fresh XTRP2 encoding was not written through under the v2 key")
+	}
+	if _, ok := b.storedFormat(key, trace.FormatXTRP1); ok {
+		t.Fatal("XTRP2-format cache wrote an artifact under the v1 key")
+	}
+	cs := warm.Compression()
+	if cs.RawBytes <= 0 || cs.EncodedBytes <= 0 {
+		t.Fatalf("compression stats did not advance: %+v", cs)
+	}
+
+	cold := NewEncodedTraceCache(4, 0)
+	cold.SetFormat(trace.FormatXTRP2)
+	cold.SetBackend(b)
+	got, err := cold.Encoded(key, func() (*trace.Trace, error) {
+		t.Error("cold cache re-measured despite a v2 backend hit")
+		return measure()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, enc) {
+		t.Fatal("cold v2 hit returned different bytes")
+	}
+
+	// A store holding only the XTRP1 artifact (written before a format
+	// migration) still serves an XTRP2-format cache via fallback.
+	old := newFakeBackend()
+	warm1 := NewEncodedTraceCache(4, 0)
+	warm1.SetBackend(old)
+	want1, err := warm1.Encoded(key, measure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := NewEncodedTraceCache(4, 0)
+	mixed.SetFormat(trace.FormatXTRP2)
+	mixed.SetBackend(old)
+	got1, err := mixed.Encoded(key, func() (*trace.Trace, error) {
+		t.Error("XTRP2 cache re-measured despite an XTRP1 fallback artifact")
+		return measure()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got1, want1) {
+		t.Fatal("fallback hit did not serve the stored XTRP1 bytes as-is")
+	}
+	tr1, err := trace.ReadBinaryAny(bytes.NewReader(want1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := trace.ReadBinaryAny(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr1.Events) != len(tr2.Events) {
+		t.Fatalf("formats decode to different traces: %d vs %d events", len(tr1.Events), len(tr2.Events))
+	}
+	for i := range tr1.Events {
+		if tr1.Events[i] != tr2.Events[i] {
+			t.Fatalf("event %d differs between formats", i)
+		}
 	}
 }

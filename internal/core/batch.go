@@ -38,11 +38,13 @@ func ExtrapolateBatch(ctx context.Context, tr *trace.Trace, cfgs []sim.Config) (
 }
 
 // ExtrapolateEncodedBatch is ExtrapolateBatch over a binary-encoded
-// (XTRP1) measurement: one decode, one translation, K simulations.
-// This is the sweep fast path — the per-cell streaming pipeline decodes
-// and translates the same bytes once per config.
+// measurement (either XTRP format, detected by magic): one decode, one
+// translation, K simulations. This is the sweep fast path — the
+// per-cell streaming pipeline decodes and translates the same bytes
+// once per config. For XTRP2 bytes the pattern table is decoded once
+// here and every lane shares the materialized result.
 func ExtrapolateEncodedBatch(ctx context.Context, enc []byte, cfgs []sim.Config) ([]*Prediction, error) {
-	tr, err := trace.ReadBinary(bytes.NewReader(enc))
+	tr, err := trace.ReadBinaryAny(bytes.NewReader(enc))
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 
 	"extrap/internal/sim"
 	"extrap/internal/sim/network"
+	"extrap/internal/trace"
 )
 
 // Canonical key encoding, version 1.
@@ -37,9 +38,28 @@ import (
 // the artifact store. Two keys with equal canonical strings produce
 // byte-identical traces (measurement is deterministic).
 func (k CacheKey) Canonical() string {
+	return k.canonicalTrace("trace/v1")
+}
+
+// CanonicalFormat returns the canonical encoding of the measurement key
+// for a given trace encoding. The fields are identical to Canonical's;
+// only the version prefix differs ("trace/v1" addresses XTRP1 bytes,
+// "trace/v2" XTRP2 bytes), so the two encodings of one measurement
+// coexist in a store without colliding. Prediction keys ("pred/v1") are
+// built from the XTRP1-era Canonical regardless of trace format: a
+// prediction is a function of the measurement, not of how its trace was
+// serialized.
+func (k CacheKey) CanonicalFormat(f trace.Format) string {
+	if f == trace.FormatXTRP2 {
+		return k.canonicalTrace("trace/v2")
+	}
+	return k.canonicalTrace("trace/v1")
+}
+
+func (k CacheKey) canonicalTrace(prefix string) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "trace/v1|bench=%q|n=%d|iters=%d|verify=%d|threads=%d",
-		k.Bench, k.N, k.Iters, b2i(k.Verify), k.Threads)
+	fmt.Fprintf(&b, "%s|bench=%q|n=%d|iters=%d|verify=%d|threads=%d",
+		prefix, k.Bench, k.N, k.Iters, b2i(k.Verify), k.Threads)
 	fmt.Fprintf(&b, "|flop=%d|intop=%d|membyte=%d|call=%d",
 		int64(k.Opts.Cost.FlopTime), int64(k.Opts.Cost.IntOpTime),
 		int64(k.Opts.Cost.MemByteTime), int64(k.Opts.Cost.CallTime))

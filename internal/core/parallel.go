@@ -93,9 +93,12 @@ type lruNode struct {
 }
 
 // TraceBackend is a durable tier behind a TraceCache: measurements the
-// memory cache does not hold are looked up here (as encoded XTRP1 bytes)
-// before being re-measured, and fresh measurements are written through.
-// internal/store implements it with a content-addressed on-disk store.
+// memory cache does not hold are looked up here (as encoded trace bytes
+// in the named format) before being re-measured, and fresh measurements
+// are written through. internal/store implements it with a
+// content-addressed on-disk store, keying each format separately
+// (CacheKey.CanonicalFormat) so XTRP1 and XTRP2 artifacts of one
+// measurement coexist.
 //
 // Both methods must be safe for concurrent use. GetTrace returns
 // (payload, true) only for bytes it can vouch for (the store verifies
@@ -103,8 +106,8 @@ type lruNode struct {
 // a write failure loses durability, never correctness, so it reports
 // nothing here and is counted by the implementation instead.
 type TraceBackend interface {
-	GetTrace(key CacheKey) ([]byte, bool)
-	PutTrace(key CacheKey, enc []byte)
+	GetTrace(key CacheKey, format trace.Format) ([]byte, bool)
+	PutTrace(key CacheKey, format trace.Format, enc []byte)
 }
 
 // TraceCache memoizes measurement traces (and their translations) across
@@ -121,6 +124,7 @@ type TraceCache struct {
 	max     int
 	encoded bool  // cache compact encoded bytes instead of shared traces
 	maxB    int64 // per-trace encoded-size budget (0 = unlimited)
+	format  trace.Format
 	entries map[CacheKey]*list.Element
 	order   *list.List // front = most recently used; values are *lruNode
 	// flights tracks entries whose first measurement is still running,
@@ -130,6 +134,11 @@ type TraceCache struct {
 	backend TraceBackend
 	lookups atomic.Int64
 	misses  atomic.Int64
+	// Compression accounting across fresh encodes: rawBytes is what the
+	// flat XTRP1 encoding would have cost, encBytes what the configured
+	// format actually cost.
+	rawBytes atomic.Int64
+	encBytes atomic.Int64
 }
 
 // ErrTraceTooLarge reports a measurement whose encoded size exceeds an
@@ -164,6 +173,52 @@ func NewBoundedTraceCache(maxEntries int) *TraceCache {
 // cache is shared across goroutines (typically right after
 // construction); it must not change while lookups are running.
 func (c *TraceCache) SetBackend(b TraceBackend) { c.backend = b }
+
+// SetFormat selects the binary format the cache encodes fresh
+// measurements into (and the key scheme it consults the backend under).
+// The zero value means XTRP1. Like SetBackend, set it before the cache
+// is shared across goroutines.
+func (c *TraceCache) SetFormat(f trace.Format) { c.format = f }
+
+// Format returns the configured encoding format (XTRP1 if unset).
+func (c *TraceCache) Format() trace.Format {
+	if c.format == 0 {
+		return trace.FormatXTRP1
+	}
+	return c.format
+}
+
+// CompressionStats reports the cache's encoding economics across fresh
+// measurements: RawBytes is what the flat 37-byte-per-event XTRP1
+// encoding would occupy, EncodedBytes what the configured format
+// actually produced. Backend hits are excluded (their raw size is
+// unknown without a decode).
+type CompressionStats struct {
+	RawBytes     int64
+	EncodedBytes int64
+}
+
+// Compression returns the cache's compression accounting.
+func (c *TraceCache) Compression() CompressionStats {
+	return CompressionStats{RawBytes: c.rawBytes.Load(), EncodedBytes: c.encBytes.Load()}
+}
+
+// backendGet looks the key up in the durable tier under the cache's
+// format, falling back to the XTRP1 key so stores written before a
+// format migration keep their value: decode auto-detects by magic, so
+// fallback bytes are served as-is.
+func (c *TraceCache) backendGet(key CacheKey) ([]byte, bool) {
+	f := c.Format()
+	if enc, ok := c.backend.GetTrace(key, f); ok {
+		return enc, true
+	}
+	if f != trace.FormatXTRP1 {
+		if enc, ok := c.backend.GetTrace(key, trace.FormatXTRP1); ok {
+			return enc, true
+		}
+	}
+	return nil, false
+}
 
 // NewEncodedTraceCache returns a bounded cache that stores measurements
 // as compact XTRP1 bytes rather than live *trace.Trace values. Consumers
@@ -250,8 +305,8 @@ func (c *TraceCache) measureLocked(key CacheKey, e *cacheEntry, measure func() (
 		return e.tr, e.err
 	}
 	if c.backend != nil {
-		if enc, ok := c.backend.GetTrace(key); ok {
-			if tr, err := trace.ReadBinary(bytes.NewReader(enc)); err == nil {
+		if enc, ok := c.backendGet(key); ok {
+			if tr, err := trace.ReadBinaryAny(bytes.NewReader(enc)); err == nil {
 				e.tr, e.err, e.measured = tr, nil, true
 				c.settle(key, e)
 				return e.tr, nil
@@ -269,10 +324,13 @@ func (c *TraceCache) measureLocked(key CacheKey, e *cacheEntry, measure func() (
 	}
 	e.tr, e.err, e.measured = tr, err, true
 	if err == nil && c.backend != nil {
+		raw := trace.EncodedSize(tr.Header(), len(tr.Events))
 		var buf bytes.Buffer
-		buf.Grow(int(trace.EncodedSize(tr.Header(), len(tr.Events))))
-		if werr := trace.WriteBinary(&buf, tr); werr == nil {
-			c.backend.PutTrace(key, buf.Bytes())
+		buf.Grow(int(raw))
+		if werr := trace.WriteBinaryFormat(&buf, tr, c.Format()); werr == nil {
+			c.rawBytes.Add(raw)
+			c.encBytes.Add(int64(buf.Len()))
+			c.backend.PutTrace(key, c.Format(), buf.Bytes())
 		}
 	}
 	c.settle(key, e)
@@ -294,7 +352,7 @@ func (c *TraceCache) encodedLocked(key CacheKey, e *cacheEntry, measure func() (
 		return e.enc, e.err
 	}
 	if c.backend != nil {
-		if enc, ok := c.backend.GetTrace(key); ok {
+		if enc, ok := c.backendGet(key); ok {
 			if c.maxB > 0 && int64(len(enc)) > c.maxB {
 				e.err = fmt.Errorf("%w: %d encoded bytes, budget %d", ErrTraceTooLarge, len(enc), c.maxB)
 			} else {
@@ -312,21 +370,32 @@ func (c *TraceCache) encodedLocked(key CacheKey, e *cacheEntry, measure func() (
 		return nil, err
 	}
 	if err == nil {
-		if sz := trace.EncodedSize(tr.Header(), len(tr.Events)); c.maxB > 0 && sz > c.maxB {
-			err = fmt.Errorf("%w: %d encoded bytes, budget %d", ErrTraceTooLarge, sz, c.maxB)
+		f := c.Format()
+		raw := trace.EncodedSize(tr.Header(), len(tr.Events))
+		// XTRP1's size is exact arithmetic, so its budget check runs
+		// before encoding a single byte; XTRP2's size depends on what the
+		// miner finds, so its check runs on the actual encoding.
+		if f == trace.FormatXTRP1 && c.maxB > 0 && raw > c.maxB {
+			err = fmt.Errorf("%w: %d encoded bytes, budget %d", ErrTraceTooLarge, raw, c.maxB)
 		} else {
 			var buf bytes.Buffer
-			buf.Grow(int(sz))
-			if werr := trace.WriteBinary(&buf, tr); werr != nil {
+			if f == trace.FormatXTRP1 {
+				buf.Grow(int(raw))
+			}
+			if werr := trace.WriteBinaryFormat(&buf, tr, f); werr != nil {
 				err = werr
+			} else if c.maxB > 0 && int64(buf.Len()) > c.maxB {
+				err = fmt.Errorf("%w: %d encoded bytes, budget %d", ErrTraceTooLarge, buf.Len(), c.maxB)
 			} else {
 				e.enc = buf.Bytes()
+				c.rawBytes.Add(raw)
+				c.encBytes.Add(int64(buf.Len()))
 			}
 		}
 	}
 	e.err, e.measured = err, true
 	if e.err == nil && c.backend != nil {
-		c.backend.PutTrace(key, e.enc)
+		c.backend.PutTrace(key, c.Format(), e.enc)
 	}
 	c.settle(key, e)
 	return e.enc, e.err
@@ -358,7 +427,7 @@ func (c *TraceCache) Measure(key CacheKey, measure func() (*trace.Trace, error))
 		if err != nil {
 			return nil, err
 		}
-		return trace.ReadBinary(bytes.NewReader(enc))
+		return trace.ReadBinaryAny(bytes.NewReader(enc))
 	}
 	return c.measureLocked(key, e, measure)
 }
@@ -377,7 +446,7 @@ func (c *TraceCache) Translated(key CacheKey, measure func() (*trace.Trace, erro
 		if err != nil {
 			return nil, err
 		}
-		tr, err := trace.ReadBinary(bytes.NewReader(enc))
+		tr, err := trace.ReadBinaryAny(bytes.NewReader(enc))
 		if err != nil {
 			return nil, err
 		}

@@ -57,11 +57,14 @@ func ExtrapolateReader(ctx context.Context, hdr trace.Header, src trace.Reader, 
 	}, nil
 }
 
-// ExtrapolateEncoded is ExtrapolateReader over a binary-encoded (XTRP1)
-// measurement: the trace is decoded incrementally as the pipeline pulls
-// events, so even the decode step stays at chunk-sized memory.
+// ExtrapolateEncoded is ExtrapolateReader over a binary-encoded
+// measurement in either XTRP format (detected by magic): the trace is
+// decoded incrementally as the pipeline pulls events, so even the
+// decode step stays at chunk-sized memory — and for XTRP2 bytes, loop
+// iterations replay from the compiled pattern table instead of
+// re-parsing records.
 func ExtrapolateEncoded(ctx context.Context, enc []byte, cfg sim.Config) (*Prediction, error) {
-	d, err := trace.NewDecoder(bytes.NewReader(enc))
+	d, err := trace.NewAnyDecoder(bytes.NewReader(enc))
 	if err != nil {
 		return nil, err
 	}

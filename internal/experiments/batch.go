@@ -84,9 +84,10 @@ type batchGroup struct {
 }
 
 // materialize decodes and translates the group's measurement exactly
-// once. On an encoded cache the XTRP1 bytes are bulk-decoded here —
-// batching deliberately trades the streaming path's bounded memory for
-// a one-per-group materialized trace shared by every lane.
+// once. On an encoded cache the bytes (either XTRP format, detected by
+// magic) are bulk-decoded here — batching deliberately trades the
+// streaming path's bounded memory for a one-per-group materialized
+// trace shared by every lane.
 func (g *batchGroup) materialize(cache *core.TraceCache, measure func() (*trace.Trace, error)) (*translate.ParallelTrace, error) {
 	g.once.Do(func() {
 		if cache.Streams() {
@@ -95,7 +96,7 @@ func (g *batchGroup) materialize(cache *core.TraceCache, measure func() (*trace.
 				g.err = err
 				return
 			}
-			tr, err := trace.ReadBinary(bytes.NewReader(enc))
+			tr, err := trace.ReadBinaryAny(bytes.NewReader(enc))
 			if err != nil {
 				g.err = err
 				return

@@ -16,6 +16,7 @@ import (
 	"extrap/internal/core"
 	"extrap/internal/metrics"
 	"extrap/internal/report"
+	"extrap/internal/trace"
 )
 
 // Options controls an experiment run.
@@ -47,6 +48,12 @@ type Options struct {
 	// BatchStats, when non-nil, accumulates batch counters for this
 	// run (batches issued, cells batched, sequential fallbacks).
 	BatchStats *BatchStats
+	// TraceFormat, when non-zero, runs the experiment over an encoded
+	// trace cache holding measurements in that wire format, exercising
+	// the streaming pipeline end to end. Output is byte-identical to
+	// the default in-memory run — this knob exists so CI can diff an
+	// experiment across trace formats.
+	TraceFormat trace.Format
 }
 
 func (o Options) procs() []int {

@@ -26,7 +26,16 @@ type runner struct {
 }
 
 func newRunner(opts Options) *runner {
-	r := &runner{opts: opts, cache: core.NewTraceCache()}
+	r := &runner{opts: opts}
+	if opts.TraceFormat != 0 {
+		// Format-pinned runs go through the encoded cache so the chosen
+		// wire format is actually on the hot path (encode, then stream-
+		// decode per cell), not just a label.
+		r.cache = core.NewEncodedTraceCache(0, 0)
+		r.cache.SetFormat(opts.TraceFormat)
+	} else {
+		r.cache = core.NewTraceCache()
+	}
 	if opts.Backend != nil {
 		r.cache.SetBackend(opts.Backend)
 	}

@@ -63,6 +63,19 @@ func (s *Service) CacheStats() (hits, misses int64) { return s.cache.Stats() }
 // without a backend.
 func (s *Service) SetBackend(b core.TraceBackend) { s.cache.SetBackend(b) }
 
+// SetTraceFormat selects the wire format a streaming Service encodes
+// cached measurements in (zero keeps XTRP1). Predictions are
+// byte-identical across formats — the format only changes resident and
+// durable bytes. Set before the Service starts handling requests.
+func (s *Service) SetTraceFormat(f trace.Format) { s.cache.SetFormat(f) }
+
+// TraceFormat reports the cache's encoding format.
+func (s *Service) TraceFormat() trace.Format { return s.cache.Format() }
+
+// CompressionStats reports the raw (XTRP1-equivalent) and actual
+// encoded bytes of measurements the cache has encoded so far.
+func (s *Service) CompressionStats() core.CompressionStats { return s.cache.Compression() }
+
 // Workers reports the sweep fan-out bound the Service was built with
 // (≤ 0 means GOMAXPROCS), so composed components — notably the jobs
 // queue — can match their cell parallelism to the engine's.

@@ -16,7 +16,12 @@ package serve
 import (
 	"net/http"
 
+	"extrap/internal/benchmarks"
+	"extrap/internal/core"
+	"extrap/internal/experiments"
 	"extrap/internal/jobs"
+	"extrap/internal/pcxx"
+	"extrap/internal/trace"
 )
 
 // JobSubmitResponse is the 202 body: the ID to poll.
@@ -43,6 +48,21 @@ type JobStatusResponse struct {
 	Error       string              `json:"error,omitempty"`
 	Result      *SweepResponse      `json:"result,omitempty"`
 	MultiResult *MultiSweepResponse `json:"multi_result,omitempty"`
+	// Artifacts lists the job's measurement traces resident in the
+	// durable store — one per ladder point whose trace has been
+	// persisted — with the wire format and encoded payload size of
+	// each, so operators can see what a sweep actually costs on disk.
+	Artifacts []JobArtifact `json:"artifacts,omitempty"`
+}
+
+// JobArtifact describes one persisted measurement trace of a job.
+type JobArtifact struct {
+	// Procs is the ladder point (the measured thread count).
+	Procs int `json:"procs"`
+	// Format is the artifact's wire format ("xtrp1" or "xtrp2").
+	Format string `json:"format"`
+	// EncodedBytes is the encoded payload size in the store.
+	EncodedBytes int64 `json:"encoded_bytes"`
 }
 
 // requireJobs gates the jobs endpoints on the durable store.
@@ -133,6 +153,27 @@ func jobResponse(snap jobs.Snapshot) JobStatusResponse {
 	return resp
 }
 
+// jobArtifacts reports the job's measurement traces resident in the
+// durable store: one entry per ladder point whose trace has been
+// persisted, trying the server's configured format first and the XTRP1
+// key as fallback (a store written before a format migration). The
+// measurement is shared across machines, so the list has one entry per
+// proc count regardless of how many curves the job sweeps.
+func (s *Server) jobArtifacts(snap jobs.Snapshot) []JobArtifact {
+	sz := benchmarks.Size{N: snap.Spec.Size, Iters: snap.Spec.Iters}
+	var out []JobArtifact
+	for _, n := range snap.Spec.Procs {
+		key := experiments.MeasurementKey(snap.Spec.Benchmark, sz, n, core.MeasureOptions{SizeMode: pcxx.ActualSize})
+		for _, f := range []trace.Format{s.cfg.TraceFormat, trace.FormatXTRP1} {
+			if bytes, ok := s.store.Size(key.CanonicalFormat(f)); ok {
+				out = append(out, JobArtifact{Procs: n, Format: f.String(), EncodedBytes: bytes})
+				break
+			}
+		}
+	}
+	return out
+}
+
 // handleJobGet serves GET /v1/jobs/{id}.
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	if !s.requireJobs(w) {
@@ -143,7 +184,9 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errf(http.StatusNotFound, "unknown_job", "no job %q", r.PathValue("id")))
 		return
 	}
-	writeJSON(w, http.StatusOK, jobResponse(snap))
+	resp := jobResponse(snap)
+	resp.Artifacts = s.jobArtifacts(snap)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleJobList serves GET /v1/jobs: all known jobs, without results

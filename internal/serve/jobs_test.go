@@ -9,6 +9,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"extrap/internal/trace"
 )
 
 // del sends a DELETE and returns status and body.
@@ -193,6 +195,105 @@ func TestJobResultSurvivesRestart(t *testing.T) {
 	}
 	if string(gotResult) != string(wantResult) {
 		t.Errorf("result changed across restart:\n%s\nvs\n%s", gotResult, wantResult)
+	}
+}
+
+// TestMixedFormatStoreAcrossRestart: a store directory written by an
+// XTRP1 server keeps working after a restart onto the XTRP2 default.
+// The finished job reads back byte-identically, its old artifacts are
+// served under their XTRP1 keys (the format fallback), and new work on
+// the restarted server persists in XTRP2 — both formats coexisting in
+// one store, with the mixed-store answers matching a fresh all-XTRP2
+// server's.
+func TestMixedFormatStoreAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, Config{StoreDir: dir, TraceFormat: trace.FormatXTRP1})
+
+	body := `{"benchmark":"grid","size":16,"iters":4,"machine":"cm5","procs":[1,2]}`
+	status, subBody := post(t, ts1.URL+"/v1/jobs", body)
+	if status != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", status, subBody)
+	}
+	var sub JobSubmitResponse
+	if err := json.Unmarshal([]byte(subBody), &sub); err != nil {
+		t.Fatal(err)
+	}
+	first := waitJob(t, ts1.URL, sub.ID)
+	if first.Status != "done" {
+		t.Fatalf("job finished %+v", first)
+	}
+	wantResult, err := json.Marshal(first.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart on the same directory with the (default) XTRP2 format.
+	_, ts2 := newTestServer(t, Config{StoreDir: dir})
+	resumed := waitJob(t, ts2.URL, sub.ID)
+	if resumed.Status != "done" {
+		t.Fatalf("restarted job state %+v", resumed)
+	}
+	gotResult, err := json.Marshal(resumed.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotResult) != string(wantResult) {
+		t.Errorf("result changed across format migration:\n%s\nvs\n%s", gotResult, wantResult)
+	}
+	if len(resumed.Artifacts) != 2 {
+		t.Fatalf("artifacts = %+v, want one per ladder point", resumed.Artifacts)
+	}
+	for _, a := range resumed.Artifacts {
+		if a.Format != "xtrp1" || a.EncodedBytes <= 0 {
+			t.Errorf("artifact %+v, want pre-migration format xtrp1 and a positive size", a)
+		}
+	}
+
+	// New work on the restarted server: a different machine forces the
+	// predictions to be recomputed from the stored traces, so procs 1–2
+	// replay the old XTRP1 artifacts while proc 4 is measured fresh and
+	// persisted in XTRP2.
+	body2 := `{"benchmark":"grid","size":16,"iters":4,"machine":"generic-dm","procs":[1,2,4]}`
+	status, subBody = post(t, ts2.URL+"/v1/jobs", body2)
+	if status != http.StatusAccepted {
+		t.Fatalf("second submit: status %d: %s", status, subBody)
+	}
+	if err := json.Unmarshal([]byte(subBody), &sub); err != nil {
+		t.Fatal(err)
+	}
+	mixed := waitJob(t, ts2.URL, sub.ID)
+	if mixed.Status != "done" {
+		t.Fatalf("second job finished %+v", mixed)
+	}
+	formats := map[int]string{}
+	for _, a := range mixed.Artifacts {
+		formats[a.Procs] = a.Format
+	}
+	want := map[int]string{1: "xtrp1", 2: "xtrp1", 4: "xtrp2"}
+	for n, f := range want {
+		if formats[n] != f {
+			t.Errorf("procs=%d stored as %q, want %q (all: %v)", n, formats[n], f, formats)
+		}
+	}
+
+	// The mixed-store answer is byte-identical to a fresh all-XTRP2
+	// server computing the same sweep from scratch.
+	_, ts3 := newTestServer(t, Config{StoreDir: t.TempDir()})
+	status, fresh := post(t, ts3.URL+"/v1/sweep", body2)
+	if status != http.StatusOK {
+		t.Fatalf("fresh sweep: status %d: %s", status, fresh)
+	}
+	mixedResult, err := json.Marshal(mixed.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(mixedResult) != strings.TrimSpace(fresh) {
+		t.Errorf("mixed-format store answer differs from fresh server:\n%s\nvs\n%s",
+			mixedResult, strings.TrimSpace(fresh))
 	}
 }
 

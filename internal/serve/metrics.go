@@ -4,6 +4,8 @@ import (
 	"expvar"
 	"fmt"
 	"net/http"
+
+	"extrap/internal/trace"
 )
 
 // metricsSet is the server's observability slice, held as expvar vars.
@@ -26,6 +28,7 @@ type metricsSet struct {
 	storeVars     *expvar.Map // artifact store hit/miss/evict/corrupt (set when a store is open)
 	jobsVars      *expvar.Map // jobs queued/running/done/failed (set when jobs are enabled)
 	batchVars     *expvar.Map // batched-sweep counters (batches, cells_batched, fallback_sequential)
+	compVars      *expvar.Map // trace-compaction counters (raw/encoded bytes, replay vs literal)
 }
 
 func newMetricsSet() *metricsSet {
@@ -41,6 +44,7 @@ func newMetricsSet() *metricsSet {
 		storeVars:     new(expvar.Map).Init(),
 		jobsVars:      new(expvar.Map).Init(),
 		batchVars:     new(expvar.Map).Init(),
+		compVars:      new(expvar.Map).Init(),
 	}
 }
 
@@ -74,6 +78,16 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 	s.met.cacheMisses.Set(misses)
 
 	root := s.met.vars()
+	cs := s.svc.CompressionStats()
+	tc := trace.ReadCompressionCounters()
+	cv := s.met.compVars
+	setInt(cv, "raw_bytes", cs.RawBytes)
+	setInt(cv, "encoded_bytes", cs.EncodedBytes)
+	setInt(cv, "encoded_traces", int64(tc.EncodedTraces))
+	setInt(cv, "pattern_table_entries", int64(tc.PatternEntries))
+	setInt(cv, "replayed_events", int64(tc.ReplayEvents))
+	setInt(cv, "literal_events", int64(tc.LiteralEvents))
+	root.Set("compression", cv)
 	bs := s.svc.BatchStats()
 	bv := s.met.batchVars
 	setInt(bv, "batches", bs.Batches)

@@ -40,6 +40,7 @@ import (
 	"extrap/internal/metrics"
 	"extrap/internal/pcxx"
 	"extrap/internal/store"
+	"extrap/internal/trace"
 )
 
 // Config shapes a Server.
@@ -77,6 +78,14 @@ type Config struct {
 	// this budget, times CacheEntries, bounds cache memory. 0 selects
 	// the default of 256 MiB; < 0 disables the budget.
 	MaxTraceBytes int64
+	// TraceFormat selects the wire format for cached measurement
+	// traces: trace.FormatXTRP2 (the default — loop-compacted, compiled
+	// pattern replay) or trace.FormatXTRP1 (flat records). Predictions
+	// are byte-identical across formats; the knob exists for rollback
+	// and A/B comparison. Artifacts persisted under either format keep
+	// loading after a format switch — the cache falls back to the XTRP1
+	// key when the current format's artifact is absent.
+	TraceFormat trace.Format
 	// StoreDir, when non-empty, roots the durable artifact store:
 	// measurement traces and job cell results persist there (content-
 	// addressed, checksummed), the measurement cache reads through to it,
@@ -137,6 +146,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.JobWorkers <= 0 {
 		cfg.JobWorkers = 1
 	}
+	if cfg.TraceFormat == 0 {
+		cfg.TraceFormat = trace.FormatXTRP2
+	}
 	logger := cfg.Logger
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -149,6 +161,7 @@ func New(cfg Config) (*Server, error) {
 		log: logger,
 	}
 	s.svc.SetBatchSize(cfg.BatchSize)
+	s.svc.SetTraceFormat(cfg.TraceFormat)
 	if cfg.StoreDir != "" {
 		st, err := store.Open(cfg.StoreDir, cfg.StoreBytes)
 		if err != nil {

@@ -35,28 +35,44 @@ type message struct {
 // one heap allocation per simulated message with one per msgSlabSize
 // messages. Messages are addressed by dense index — the future event
 // list stores the index, not a pointer, keeping heap events free of GC
-// write barriers. Messages are never recycled within a run, so an index
-// is always valid until the engine is discarded or the slab reset;
-// blocks already allocated are retained across resets for arena reuse.
+// write barriers. A message's slot is recycled once its handling
+// completes (the engine releases it at each end-of-life point), so the
+// slab's footprint tracks the in-flight message population, not the
+// total message count of the run; blocks already allocated are retained
+// across resets for arena reuse. Slot reuse cannot perturb results:
+// indices are bookkeeping only — event ordering is by (at, seq), which
+// never reads them.
 const msgSlabSize = 256
 
 type msgSlab struct {
 	blocks [][]message
-	used   int // messages handed out this run
+	used   int     // high-water slots handed out this run
+	free   []int32 // released slots awaiting reuse
 }
 
 func (s *msgSlab) new(kind msgKind, src, dst int, bytes, barrier int64) int32 {
-	if s.used == len(s.blocks)*msgSlabSize {
-		s.blocks = append(s.blocks, make([]message, msgSlabSize))
+	var idx int
+	if n := len(s.free); n > 0 {
+		idx = int(s.free[n-1])
+		s.free = s.free[:n-1]
+	} else {
+		if s.used == len(s.blocks)*msgSlabSize {
+			s.blocks = append(s.blocks, make([]message, msgSlabSize))
+		}
+		idx = s.used
+		s.used++
 	}
-	idx := s.used
-	s.used++
 	m := &s.blocks[idx/msgSlabSize][idx%msgSlabSize]
-	// Full overwrite: blocks are reused across arena resets, so every
+	// Full overwrite: slots are reused within and across runs, so every
 	// field — delivered included — must be set, not assumed zero.
 	*m = message{kind: kind, src: src, dst: dst, bytes: bytes, barrier: barrier}
 	return int32(idx)
 }
+
+// release returns a slot to the free list. The caller owns the proof
+// that nothing — no future-event-list entry, no service queue — still
+// holds index i.
+func (s *msgSlab) release(i int32) { s.free = append(s.free, i) }
 
 // at resolves a slab index. Taking a new pointer per use is safe: blocks
 // never move once allocated (growing appends a block, it does not copy
@@ -66,7 +82,10 @@ func (s *msgSlab) at(i int32) *message {
 }
 
 // reset forgets all handed-out messages, keeping the blocks for reuse.
-func (s *msgSlab) reset() { s.used = 0 }
+func (s *msgSlab) reset() {
+	s.used = 0
+	s.free = s.free[:0]
+}
 
 // tstate is a simulated thread's execution state.
 type tstate uint8
@@ -738,6 +757,7 @@ func (e *engine) drainQueue(p *prc, from vtime.Time) vtime.Time {
 	}
 	for _, mi := range p.svcQueue {
 		e.serviceMessage(p, e.msgs.at(mi), p.svcBusyUntil)
+		e.msgs.release(mi)
 	}
 	p.svcQueue = p.svcQueue[:0]
 	return p.svcBusyUntil
@@ -914,11 +934,15 @@ func (e *engine) msgArrive(mi int32) {
 	switch m.kind {
 	case mReply:
 		e.replyArrive(m)
+		e.msgs.release(mi)
 	case mBarRelease:
 		e.emit(e.now, trace.KindMsgRecv, m.dst, int64(m.src), m.bytes, int64(m.kind))
 		e.barrierReleaseArrive(m)
+		e.msgs.release(mi)
 	default:
 		// CPU-handled messages: remote requests and barrier arrivals.
+		// requestArrive owns the release — it may park mi on a service
+		// queue instead of finishing it here.
 		e.emit(e.now, trace.KindMsgRecv, m.dst, int64(m.src), m.bytes, int64(m.kind))
 		e.requestArrive(mi, m)
 	}
@@ -934,6 +958,7 @@ func (e *engine) requestArrive(mi int32, m *message) {
 		// serialized behind any ongoing service.
 		at := vtime.Max(e.now, p.svcBusyUntil)
 		e.serviceMessage(p, m, at)
+		e.msgs.release(mi)
 		return
 	}
 	t := &e.threads[cur]
@@ -951,6 +976,7 @@ func (e *engine) requestArrive(mi int32, m *message) {
 		} else {
 			e.fel.schedule(t.segEnd, evComputeDone, int32(t.id), t.gen, noMsg)
 		}
+		e.msgs.release(mi)
 	default: // NoInterrupt and Poll queue until a service opportunity.
 		p.svcQueue = append(p.svcQueue, mi)
 	}

@@ -12,6 +12,7 @@ import (
 	"extrap/internal/pcxx"
 	"extrap/internal/sim"
 	"extrap/internal/sim/network"
+	"extrap/internal/trace"
 	"extrap/internal/vtime"
 )
 
@@ -82,6 +83,9 @@ func goldenKeys() []struct {
 		{"trace-zero", zeroKey.Canonical()},
 		{"trace-basic", basicKey.Canonical()},
 		{"trace-full", fullKey.Canonical()},
+		{"trace-v2-basic", basicKey.CanonicalFormat(trace.FormatXTRP2)},
+		{"trace-v2-full", fullKey.CanonicalFormat(trace.FormatXTRP2)},
+		{"trace-v1-via-format", basicKey.CanonicalFormat(trace.FormatXTRP1)},
 		{"cfg-zero", core.CanonicalConfig(sim.Config{})},
 		{"cfg-default", core.CanonicalConfig(defCfg)},
 		{"cfg-full", core.CanonicalConfig(fullCfg)},

@@ -69,6 +69,7 @@ import (
 	"time"
 
 	"extrap/internal/core"
+	"extrap/internal/trace"
 )
 
 var artifactMagic = [5]byte{'X', 'A', 'R', 'T', '1'}
@@ -340,11 +341,38 @@ func (s *Store) Put(key string, payload []byte) error {
 }
 
 // GetTrace and PutTrace adapt the store to core.TraceBackend, so a
-// *Store plugs directly behind a TraceCache.
-func (s *Store) GetTrace(key core.CacheKey) ([]byte, bool) { return s.Get(key.Canonical()) }
+// *Store plugs directly behind a TraceCache. Each trace format is
+// addressed under its own key prefix (trace/v1 vs trace/v2), so both
+// encodings of one measurement coexist in a single store directory and
+// a format migration never orphans prior artifacts.
+func (s *Store) GetTrace(key core.CacheKey, format trace.Format) ([]byte, bool) {
+	return s.Get(key.CanonicalFormat(format))
+}
 
 // PutTrace implements core.TraceBackend; see Put for semantics.
-func (s *Store) PutTrace(key core.CacheKey, enc []byte) { s.Put(key.Canonical(), enc) }
+func (s *Store) PutTrace(key core.CacheKey, format trace.Format, enc []byte) {
+	s.Put(key.CanonicalFormat(format), enc)
+}
+
+// Size reports the encoded payload size of a resident artifact (its
+// on-disk size minus the fixed artifact header), or false if no such
+// artifact is resident. It reads only the in-memory index — no disk I/O
+// and no recency update — so serving layers can report per-artifact
+// storage costs cheaply.
+func (s *Store) Size(key string) (int64, bool) {
+	h := KeyHash(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.objects[h]
+	if !ok {
+		return 0, false
+	}
+	sz := el.Value.(*object).size - artifactHeaderSize
+	if sz < 0 {
+		sz = 0
+	}
+	return sz, true
+}
 
 // touchLocked refreshes an object's recency; the caller holds s.mu.
 func (s *Store) touchLocked(el *list.Element) {

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"extrap/internal/core"
+	"extrap/internal/trace"
 )
 
 func openTemp(t *testing.T, maxBytes int64) (*Store, string) {
@@ -244,19 +245,38 @@ func TestWarmStartSurvivesCorruptIndex(t *testing.T) {
 }
 
 // TestTraceBackendAdapter: Store satisfies core.TraceBackend and round
-// trips through the CacheKey canonical encoding.
+// trips through the CacheKey canonical encoding, with each trace format
+// addressed under its own key.
 func TestTraceBackendAdapter(t *testing.T) {
 	s, _ := openTemp(t, 0)
 	var backend core.TraceBackend = s
 	key := core.CacheKey{Bench: "adapter", N: 4, Iters: 2, Threads: 8}
 	enc := []byte("pretend-xtrp1-bytes")
-	backend.PutTrace(key, enc)
-	got, ok := backend.GetTrace(key)
+	backend.PutTrace(key, trace.FormatXTRP1, enc)
+	got, ok := backend.GetTrace(key, trace.FormatXTRP1)
 	if !ok || !bytes.Equal(got, enc) {
 		t.Fatal("TraceBackend adapter did not round trip")
 	}
-	if _, ok := backend.GetTrace(core.CacheKey{Bench: "adapter", N: 5, Iters: 2, Threads: 8}); ok {
+	if _, ok := backend.GetTrace(core.CacheKey{Bench: "adapter", N: 5, Iters: 2, Threads: 8}, trace.FormatXTRP1); ok {
 		t.Fatal("distinct key hit the same artifact")
+	}
+	if _, ok := backend.GetTrace(key, trace.FormatXTRP2); ok {
+		t.Fatal("XTRP2 key hit the XTRP1 artifact")
+	}
+	enc2 := []byte("pretend-xtrp2-bytes")
+	backend.PutTrace(key, trace.FormatXTRP2, enc2)
+	got2, ok := backend.GetTrace(key, trace.FormatXTRP2)
+	if !ok || !bytes.Equal(got2, enc2) {
+		t.Fatal("XTRP2 artifact did not round trip beside the XTRP1 one")
+	}
+
+	// Size reads the index without touching disk or recency, and reports
+	// payload bytes (header excluded).
+	if sz, ok := s.Size(key.CanonicalFormat(trace.FormatXTRP2)); !ok || sz != int64(len(enc2)) {
+		t.Fatalf("Size = %d, %v; want %d, true", sz, ok, len(enc2))
+	}
+	if _, ok := s.Size("no-such-key"); ok {
+		t.Fatal("Size reported a nonexistent artifact")
 	}
 }
 

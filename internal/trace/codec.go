@@ -62,7 +62,7 @@ func getEvent(b []byte) Event {
 
 // errors returned by the codecs.
 var (
-	ErrBadMagic = errors.New("trace: bad magic (not an XTRP1 trace)")
+	ErrBadMagic = errors.New("trace: bad magic (not an XTRP binary trace)")
 )
 
 // Hardening limits for the XTRP1 format. Every header field is
@@ -112,48 +112,18 @@ func NewDecoder(r io.Reader) (*Decoder, error) {
 	if magic != binaryMagic {
 		return nil, ErrBadMagic
 	}
-	var hdr [16]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+	return newDecoderAfterMagic(br)
+}
+
+// newDecoderAfterMagic parses the XTRP1 header past the magic bytes —
+// the entry point NewAnyDecoder dispatches to once the magic has
+// identified the format.
+func newDecoderAfterMagic(br *bufio.Reader) (*Decoder, error) {
+	hdr, declare, err := readCommonHeader(br)
+	if err != nil {
 		return nil, err
 	}
-	d := &Decoder{br: br}
-	nthreads := binary.LittleEndian.Uint32(hdr[:4])
-	if nthreads > MaxThreads {
-		return nil, fmt.Errorf("trace: implausible thread count %d (max %d)", nthreads, MaxThreads)
-	}
-	d.hdr.NumThreads = int(nthreads)
-	d.hdr.EventOverhead = intToTime(binary.LittleEndian.Uint64(hdr[4:12]))
-	nphase := binary.LittleEndian.Uint32(hdr[12:16])
-	if nphase > MaxPhases {
-		return nil, fmt.Errorf("trace: implausible phase count %d (max %d)", nphase, MaxPhases)
-	}
-	phaseBytes := 0
-	for i := uint32(0); i < nphase; i++ {
-		var ln [2]byte
-		if _, err := io.ReadFull(br, ln[:]); err != nil {
-			return nil, err
-		}
-		n := int(binary.LittleEndian.Uint16(ln[:]))
-		if phaseBytes += n; phaseBytes > MaxPhaseBytes {
-			return nil, fmt.Errorf("trace: phase table exceeds %d bytes", MaxPhaseBytes)
-		}
-		buf := make([]byte, n)
-		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, err
-		}
-		// Grown incrementally: each name's bytes were just read, so the
-		// table can never outgrow the input actually supplied.
-		d.hdr.Phases = append(d.hdr.Phases, string(buf))
-	}
-	var cnt [8]byte
-	if _, err := io.ReadFull(br, cnt[:]); err != nil {
-		return nil, err
-	}
-	d.declare = binary.LittleEndian.Uint64(cnt[:])
-	if d.declare > MaxEvents {
-		return nil, fmt.Errorf("trace: implausible event count %d", d.declare)
-	}
-	return d, nil
+	return &Decoder{br: br, hdr: hdr, declare: declare}, nil
 }
 
 // Header returns the decoded trace metadata.

@@ -57,3 +57,68 @@ func FuzzBinaryRoundTrip(f *testing.F) {
 		}
 	})
 }
+
+// FuzzXTRP2RoundTrip feeds arbitrary bytes to the format-dispatching
+// decoder, seeded with well-formed XTRP2 streams and the hostile
+// pattern-table corpus. The decoder must never panic and never allocate
+// ahead of the input; every accepted input must survive an XTRP2
+// re-encode with identical events, and the XTRP2 encoding of any
+// accepted trace must decode back to the same events (the byte-identity
+// guarantee the prediction pipeline relies on).
+func FuzzXTRP2RoundTrip(f *testing.F) {
+	// Well-formed streams: a loop-structured trace (pattern table in
+	// use), a barrier trace, and an empty trace.
+	for _, tr := range []*Trace{makeLoopTrace(4, 30), makeBarrierTrace(4, 2), New(2)} {
+		var buf bytes.Buffer
+		if err := WriteBinary2(&buf, tr); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+
+	// The hostile pattern-table corpus: forged counts, cyclic/dangling
+	// pattern refs, count overflows, truncated delta blocks.
+	start := wireRow(byte(KindThreadStart))
+	onePattern := concat(uvarint(1), start)
+	f.Add(hostile2(4, 0, MaxPatterns+1, nil))
+	f.Add(hostile2(4, 0, 1000, nil))
+	f.Add(hostile2(4, 0, 1, uvarint(0)))
+	f.Add(hostile2(4, 0, 1, uvarint(MaxPatternRows+1)))
+	f.Add(hostile2(4, 0, 1, concat(uvarint(64), start)))
+	f.Add(hostile2(4, 4, 1, concat(onePattern, []byte{opRepeat}, uvarint(1), uvarint(2))))
+	f.Add(hostile2(4, 4, 1, concat(onePattern, []byte{opRepeat}, uvarint(0), uvarint(1<<62))))
+	f.Add(hostile2(4, 4, 0, concat([]byte{opLiteral}, uvarint(4), start)))
+	f.Add(hostile2(4, 1<<39, 0, concat([]byte{opLiteral}, uvarint(1<<39))))
+	f.Add(hostile2(4, 4, 0, []byte{0x7f}))
+	f.Add([]byte("XTRP2")) // magic only
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadBinaryAny(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var enc1 bytes.Buffer
+		if err := WriteBinary2(&enc1, tr); err != nil {
+			t.Fatalf("XTRP2 encode of accepted trace failed: %v", err)
+		}
+		tr2, err := ReadBinaryAny(bytes.NewReader(enc1.Bytes()))
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		if len(tr2.Events) != len(tr.Events) {
+			t.Fatalf("round trip produced %d events, want %d", len(tr2.Events), len(tr.Events))
+		}
+		for i := range tr.Events {
+			if tr2.Events[i] != tr.Events[i] {
+				t.Fatalf("event %d changed in round trip: %+v vs %+v", i, tr2.Events[i], tr.Events[i])
+			}
+		}
+		var enc2 bytes.Buffer
+		if err := WriteBinary2(&enc2, tr2); err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc1.Bytes(), enc2.Bytes()) {
+			t.Fatal("encode→decode→encode is not byte-stable")
+		}
+	})
+}

@@ -56,8 +56,7 @@ type Stream struct {
 	lastOrig       []vtime.Time
 	lastTranslated []vtime.Time
 	started        []bool
-	barriers       map[int64]*barrierState
-	maxBarrier     int64
+	barriers       []barrierState // indexed by barrier id (ids are dense)
 	idx            int
 
 	srcDuration   vtime.Time // timestamp of the last source event
@@ -84,8 +83,6 @@ func NewStream(hdr trace.Header, src trace.Reader, opts StreamOptions) (*Stream,
 		lastOrig:       make([]vtime.Time, n),
 		lastTranslated: make([]vtime.Time, n),
 		started:        make([]bool, n),
-		barriers:       make(map[int64]*barrierState),
-		maxBarrier:     -1,
 	}, nil
 }
 
@@ -100,7 +97,7 @@ func (s *Stream) Thread(i int) trace.Reader { return &threadCursor{s: s, id: i} 
 
 // Barriers reports the number of global barriers seen so far; it is the
 // program's total once the stream is drained.
-func (s *Stream) Barriers() int { return int(s.maxBarrier + 1) }
+func (s *Stream) Barriers() int { return len(s.barriers) }
 
 // SourceDuration reports the timestamp of the last source event pulled —
 // the 1-processor virtual execution time once the stream is drained.
@@ -228,27 +225,26 @@ func (s *Stream) pull() {
 
 	switch e.Kind {
 	case trace.KindBarrierEntry:
-		b := s.barriers[e.Arg0]
-		if b == nil {
-			b = &barrierState{}
-			s.barriers[e.Arg0] = b
-			if e.Arg0 > s.maxBarrier {
-				s.maxBarrier = e.Arg0
-			}
+		for int64(len(s.barriers)) <= e.Arg0 {
+			s.barriers = append(s.barriers, barrierState{})
 		}
+		b := &s.barriers[e.Arg0]
 		b.entries++
 		if tNew > b.release {
 			b.release = tNew
 		}
 	case trace.KindBarrierExit:
-		b := s.barriers[e.Arg0]
-		if b == nil || b.entries != s.n {
+		if e.Arg0 < 0 || e.Arg0 >= int64(len(s.barriers)) || s.barriers[e.Arg0].entries != s.n {
+			got := 0
+			if e.Arg0 >= 0 && e.Arg0 < int64(len(s.barriers)) {
+				got = s.barriers[e.Arg0].entries
+			}
 			s.err = fmt.Errorf(
 				"translate: event %d: exit of barrier %d before all %d threads entered (%d so far) — was the measurement preemptive?",
-				s.idx, e.Arg0, s.n, entryCount(b))
+				s.idx, e.Arg0, s.n, got)
 			return
 		}
-		tNew = b.release
+		tNew = s.barriers[e.Arg0].release
 	}
 
 	s.lastOrig[th] = e.Time

@@ -123,8 +123,10 @@ func Translate(tr *trace.Trace) (*ParallelTrace, error) {
 	lastTranslated := make([]vtime.Time, n) // translated timestamp of thread's previous event
 	started := make([]bool, n)
 
-	barriers := make(map[int64]*barrierState)
-	maxBarrier := int64(-1)
+	// Validation guarantees barrier ids are dense and increasing, so a
+	// flat slice indexed by id replaces a map: the per-event lookup on
+	// the hot path is a bounds check and an add, not a hash probe.
+	barriers := make([]barrierState, 0, 64)
 
 	for idx, e := range tr.Events {
 		th := int(e.Thread)
@@ -147,29 +149,28 @@ func Translate(tr *trace.Trace) (*ParallelTrace, error) {
 
 		switch e.Kind {
 		case trace.KindBarrierEntry:
-			b := barriers[e.Arg0]
-			if b == nil {
-				b = &barrierState{}
-				barriers[e.Arg0] = b
-				if e.Arg0 > maxBarrier {
-					maxBarrier = e.Arg0
-				}
+			for int64(len(barriers)) <= e.Arg0 {
+				barriers = append(barriers, barrierState{})
 			}
+			b := &barriers[e.Arg0]
 			b.entries++
 			if tNew > b.release {
 				b.release = tNew
 			}
 		case trace.KindBarrierExit:
-			b := barriers[e.Arg0]
-			if b == nil || b.entries != n {
+			if e.Arg0 < 0 || e.Arg0 >= int64(len(barriers)) || barriers[e.Arg0].entries != n {
+				got := 0
+				if e.Arg0 >= 0 && e.Arg0 < int64(len(barriers)) {
+					got = barriers[e.Arg0].entries
+				}
 				return nil, fmt.Errorf(
 					"translate: event %d: exit of barrier %d before all %d threads entered (%d so far) — was the measurement preemptive?",
-					idx, e.Arg0, n, entryCount(b))
+					idx, e.Arg0, n, got)
 			}
 			// Instant barrier: the thread leaves when the last thread
 			// entered, regardless of when the 1-processor scheduler
 			// happened to resume it.
-			tNew = b.release
+			tNew = barriers[e.Arg0].release
 		}
 
 		lastOrig[th] = e.Time
@@ -177,15 +178,8 @@ func Translate(tr *trace.Trace) (*ParallelTrace, error) {
 		e.Time = tNew
 		pt.Threads[th] = append(pt.Threads[th], e)
 	}
-	pt.Barriers = int(maxBarrier + 1)
+	pt.Barriers = len(barriers)
 	return pt, nil
-}
-
-func entryCount(b *barrierState) int {
-	if b == nil {
-		return 0
-	}
-	return b.entries
 }
 
 // barrierState tracks one global barrier during translation: how many

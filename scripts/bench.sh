@@ -4,10 +4,21 @@
 # the per-benchmark budget.
 set -e
 
-PATTERN="${BENCH_PATTERN:-BenchmarkSimulation\$|BenchmarkSimulationArena\$|BenchmarkSweepBatch\$|BenchmarkFullPipeline\$|BenchmarkTraceCodec|BenchmarkFig7MgridStartup\$|BenchmarkStreamPipelineMemory\$|BenchmarkStoreRoundTrip\$}"
+PATTERN="${BENCH_PATTERN:-BenchmarkSimulation\$|BenchmarkSimulationArena\$|BenchmarkSweepBatch\$|BenchmarkFullPipeline\$|BenchmarkTraceCodec|BenchmarkFig7MgridStartup\$|BenchmarkStoreRoundTrip\$}"
 TIME="${BENCHTIME:-1s}"
+# The streaming-pipeline benchmark takes hundreds of ms per iteration,
+# so a time budget yields low single-digit iteration counts and noisy
+# ns/op. Pin an explicit iteration count (STREAM_BENCHTIME overrides)
+# so snapshots are comparable run to run. Skipped when BENCH_PATTERN
+# narrows the set explicitly.
+STREAM_TIME="${STREAM_BENCHTIME:-10x}"
 
-go test -run '^$' -bench "$PATTERN" -benchtime "$TIME" -benchmem . |
+{
+  go test -run '^$' -bench "$PATTERN" -benchtime "$TIME" -benchmem .
+  if [ -z "${BENCH_PATTERN:-}" ]; then
+    go test -run '^$' -bench 'BenchmarkStreamPipelineMemory$' -benchtime "$STREAM_TIME" -benchmem .
+  fi
+} |
 awk '
   # Columns vary (MB/s and custom metrics appear between ns/op and
   # B/op), so locate each value by the unit that follows it.
