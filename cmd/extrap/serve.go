@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"net/url"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -32,6 +34,8 @@ func cmdServe(args []string, out io.Writer) error {
 	storeBytes := fs.Int64("store-bytes", 0, "artifact store on-disk budget in bytes, LRU-evicted past it (0 = unlimited)")
 	jobWorkers := fs.Int("jobs-workers", 1, "concurrently executing async jobs (requires -store-dir)")
 	traceFormat := fs.String("trace-format", "xtrp2", "wire format for cached measurement traces: xtrp2 (loop-compacted) or xtrp1 (flat records); predictions are byte-identical either way")
+	role := fs.String("role", "solo", "cluster role: solo (default), coordinator (shard sweeps across -peers), or worker (accept shards on internal endpoints)")
+	peers := fs.String("peers", "", "comma-separated peer base URLs; for a coordinator the worker replicas (required, ≥ 1), for a worker optionally one peer to read measurement artifacts through")
 	pprofFlag := fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,6 +65,18 @@ func cmdServe(args []string, out io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("serve: %w", err)
 	}
+	var peerList []string
+	for _, p := range strings.Split(*peers, ",") {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		u, err := url.Parse(p)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return fmt.Errorf("serve: -peers entry %q is not an http(s) base URL", p)
+		}
+		peerList = append(peerList, strings.TrimRight(p, "/"))
+	}
 
 	srv, err := serve.New(serve.Config{
 		MaxInFlight:    *maxInflight,
@@ -74,6 +90,8 @@ func cmdServe(args []string, out io.Writer) error {
 		StoreBytes:     *storeBytes,
 		JobWorkers:     *jobWorkers,
 		TraceFormat:    tf,
+		Role:           *role,
+		Peers:          peerList,
 		EnablePprof:    *pprofFlag,
 	})
 	if err != nil {

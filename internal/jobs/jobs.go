@@ -170,6 +170,20 @@ type Config struct {
 	Workers int
 	// QueueDepth bounds jobs waiting for a worker; ≤ 0 selects 64.
 	QueueDepth int
+	// Dispatch, when non-nil, executes ladder points remotely (a
+	// coordinator sharding cells across worker replicas) instead of
+	// through Service. Cells still persist per content address in the
+	// LOCAL Store as results land, so crash resume works identically:
+	// completed cells load from disk, only missing cells re-dispatch.
+	Dispatch PointRunner
+}
+
+// PointRunner executes one measurement group — benchmark/size at one
+// ladder point, under every named machine — returning one exact total
+// time per machine in machines order. *cluster.Coordinator implements
+// it; jobs declares the interface so the dependency points outward.
+type PointRunner interface {
+	RunPoint(ctx context.Context, bench string, sz benchmarks.Size, threads int, machines []string) ([]vtime.Time, error)
 }
 
 // Manager owns the queue, the worker pool, and the persisted job set.
@@ -623,6 +637,11 @@ func (m *Manager) runJob(id string) {
 // kernel's byte-identity means the stored records match it exactly.
 func (m *Manager) runCells(ctx context.Context, j *Job, b benchmarks.Benchmark, sz benchmarks.Size, envs []machine.Env) error {
 	procs := j.spec.Procs
+	if m.cfg.Dispatch != nil {
+		return pool.Run(m.cfg.Service.Workers(), len(procs), func(pi int) error {
+			return m.runDispatchedPoint(ctx, j, b, sz, envs, pi)
+		})
+	}
 	batch := m.cfg.Service.BatchSize()
 	if batch > 1 && len(envs) > 1 {
 		return pool.Run(m.cfg.Service.Workers(), len(procs), func(pi int) error {
@@ -696,6 +715,54 @@ func (m *Manager) runLadderPoint(ctx context.Context, j *Job, b benchmarks.Bench
 	return nil
 }
 
+// runDispatchedPoint executes one ladder point through the Dispatch
+// runner: store lookups first (the resume path — a cell persisted
+// before a coordinator crash is never re-dispatched), then ONE shard
+// covering exactly the missing machines. The runner returns exact
+// integers, so the persisted records are byte-identical to the ones the
+// local paths write.
+func (m *Manager) runDispatchedPoint(ctx context.Context, j *Job, b benchmarks.Benchmark, sz benchmarks.Size, envs []machine.Env, pi int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	procs := j.spec.Procs
+	n := procs[pi]
+	key := experiments.MeasurementKey(b.Name(), sz, n, core.MeasureOptions{SizeMode: pcxx.ActualSize})
+	var missing []int // machine indices whose cell is not in the store
+	for mi := range envs {
+		if m.cellHook != nil {
+			m.cellHook(j.id, mi*len(procs)+pi)
+		}
+		if pt, ok := m.loadCell(key, envs[mi], n); ok {
+			if err := m.finishCell(j, mi, pi, pt); err != nil {
+				return err
+			}
+			continue
+		}
+		missing = append(missing, mi)
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	names := make([]string, len(missing))
+	for i, mi := range missing {
+		names[i] = envs[mi].Name
+	}
+	times, err := m.cfg.Dispatch.RunPoint(ctx, b.Name(), sz, n, names)
+	if err != nil {
+		return err
+	}
+	if len(times) != len(missing) {
+		return fmt.Errorf("jobs: dispatch returned %d cells for %d machines", len(times), len(missing))
+	}
+	for i, mi := range missing {
+		if err := m.storeCellTime(j, key, envs[mi], mi, pi, n, times[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // loadCell restores one cell's prediction from the artifact store, if
 // present and decodable. An undecodable record under a verified
 // checksum is format skew; the caller recomputes and overwrites.
@@ -715,13 +782,19 @@ func (m *Manager) loadCell(key core.CacheKey, env machine.Env, n int) (metrics.P
 // storeCell persists one computed cell under its content address and
 // records it done.
 func (m *Manager) storeCell(j *Job, key core.CacheKey, env machine.Env, mi, pi, n int, pred *core.Prediction) error {
-	rec, err := json.Marshal(cellRecord{Procs: n, TotalNs: int64(pred.Result.TotalTime)})
+	return m.storeCellTime(j, key, env, mi, pi, n, pred.Result.TotalTime)
+}
+
+// storeCellTime is storeCell for a result already reduced to its exact
+// total — the form shard results arrive in from a dispatch runner.
+func (m *Manager) storeCellTime(j *Job, key core.CacheKey, env machine.Env, mi, pi, n int, total vtime.Time) error {
+	rec, err := json.Marshal(cellRecord{Procs: n, TotalNs: int64(total)})
 	if err != nil {
 		return err
 	}
 	m.cfg.Store.Put(core.CanonicalPrediction(key, env.Config), rec)
 	m.cellsComputed.Add(1)
-	return m.finishCell(j, mi, pi, metrics.Point{Procs: n, Time: pred.Result.TotalTime})
+	return m.finishCell(j, mi, pi, metrics.Point{Procs: n, Time: total})
 }
 
 // finishCell records one completed cell and persists progress.

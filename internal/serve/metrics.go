@@ -29,6 +29,7 @@ type metricsSet struct {
 	jobsVars      *expvar.Map // jobs queued/running/done/failed (set when jobs are enabled)
 	batchVars     *expvar.Map // batched-sweep counters (batches, cells_batched, fallback_sequential)
 	compVars      *expvar.Map // trace-compaction counters (raw/encoded bytes, replay vs literal)
+	clusterVars   *expvar.Map // shard routing/execution counters (set when Role isn't solo)
 }
 
 func newMetricsSet() *metricsSet {
@@ -45,6 +46,7 @@ func newMetricsSet() *metricsSet {
 		jobsVars:      new(expvar.Map).Init(),
 		batchVars:     new(expvar.Map).Init(),
 		compVars:      new(expvar.Map).Init(),
+		clusterVars:   new(expvar.Map).Init(),
 	}
 }
 
@@ -106,6 +108,42 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 		setInt(sv, "objects", st.Objects)
 		setInt(sv, "bytes", st.Bytes)
 		root.Set("store", sv)
+	}
+	if s.coord != nil {
+		ct := s.coord.Stats()
+		cl := s.met.clusterVars
+		setInt(cl, "role_coordinator", 1)
+		setInt(cl, "shards_dispatched", ct.Dispatched)
+		setInt(cl, "shards_completed", ct.Completed)
+		setInt(cl, "shards_retried", ct.Retried)
+		setInt(cl, "shards_local", ct.Local)
+		peers := new(expvar.Map).Init()
+		for _, p := range ct.Peers {
+			pv := new(expvar.Map).Init()
+			healthy := int64(0)
+			if p.Healthy {
+				healthy = 1
+			}
+			setInt(pv, "healthy", healthy)
+			setInt(pv, "dispatched", p.Dispatched)
+			setInt(pv, "completed", p.Completed)
+			setInt(pv, "failed", p.Failed)
+			peers.Set(p.URL, pv)
+		}
+		cl.Set("peers", peers)
+		root.Set("cluster", cl)
+	}
+	if s.worker != nil {
+		wt := s.worker.Stats()
+		cl := s.met.clusterVars
+		setInt(cl, "role_worker", 1)
+		setInt(cl, "shards_accepted", wt.Accepted)
+		setInt(cl, "shards_completed", wt.Completed)
+		setInt(cl, "shards_failed", wt.Failed)
+		setInt(cl, "shards_expired", wt.Expired)
+		setInt(cl, "shards_rejected", wt.Rejected)
+		setInt(cl, "shards_active", wt.Active)
+		root.Set("cluster", cl)
 	}
 	if s.jobs != nil {
 		jt := s.jobs.Stats()

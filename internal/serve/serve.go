@@ -23,6 +23,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"log/slog"
 	"net"
 	"net/http"
@@ -33,6 +34,7 @@ import (
 	"time"
 
 	"extrap/internal/benchmarks"
+	"extrap/internal/cluster"
 	"extrap/internal/core"
 	"extrap/internal/experiments"
 	"extrap/internal/jobs"
@@ -41,6 +43,19 @@ import (
 	"extrap/internal/pcxx"
 	"extrap/internal/store"
 	"extrap/internal/trace"
+)
+
+// Cluster roles. A solo server (the default) owns its whole pipeline; a
+// coordinator partitions sweeps into measured-trace shards and
+// dispatches them to worker replicas (falling back to local execution
+// when every peer is down); a worker accepts shards on internal
+// endpoints and executes them through its own engine. Distributed
+// output is byte-identical to solo output: shard results are exact
+// virtual-nanosecond integers merged through the same response builder.
+const (
+	RoleSolo        = "solo"
+	RoleCoordinator = "coordinator"
+	RoleWorker      = "worker"
 )
 
 // Config shapes a Server.
@@ -99,6 +114,22 @@ type Config struct {
 	// JobWorkers bounds concurrently executing async jobs; ≤ 0 selects 1.
 	// Each job additionally fans its grid cells across Workers.
 	JobWorkers int
+	// Role selects the cluster role: RoleSolo (or empty — the default),
+	// RoleCoordinator, or RoleWorker. See the Role* constants.
+	Role string
+	// Peers configures the cluster topology. For a coordinator: the
+	// worker replicas' base URLs ("http://host:port"), at least one.
+	// For a worker: optionally one peer (typically the coordinator) to
+	// read measurement artifacts through — a read-through tier behind
+	// the local store, so a re-routed shard reuses an already-measured
+	// trace instead of re-measuring it. Solo servers take no peers.
+	Peers []string
+	// ClusterPoll overrides the coordinator's shard poll interval
+	// (tests); ≤ 0 selects the cluster default.
+	ClusterPoll time.Duration
+	// ClusterLeaseMs overrides the shard lease the coordinator requests
+	// (tests); 0 selects the cluster default.
+	ClusterLeaseMs int
 	// EnablePprof mounts net/http/pprof handlers under /debug/pprof/.
 	EnablePprof bool
 	// ShutdownGrace bounds how long Serve waits for in-flight requests
@@ -111,13 +142,15 @@ type Config struct {
 
 // Server is the extrapolation service.
 type Server struct {
-	cfg   Config
-	svc   *experiments.Service
-	lim   *limiter
-	met   *metricsSet
-	log   *slog.Logger
-	store *store.Store  // nil unless StoreDir is set
-	jobs  *jobs.Manager // nil unless StoreDir is set
+	cfg    Config
+	svc    *experiments.Service
+	lim    *limiter
+	met    *metricsSet
+	log    *slog.Logger
+	store  *store.Store         // nil unless StoreDir is set
+	jobs   *jobs.Manager        // nil unless StoreDir is set
+	coord  *cluster.Coordinator // nil unless Role is coordinator
+	worker *cluster.Worker      // nil unless Role is worker
 }
 
 // New returns a Server with cfg's zero fields defaulted. With a
@@ -149,6 +182,25 @@ func New(cfg Config) (*Server, error) {
 	if cfg.TraceFormat == 0 {
 		cfg.TraceFormat = trace.FormatXTRP2
 	}
+	if cfg.Role == "" {
+		cfg.Role = RoleSolo
+	}
+	switch cfg.Role {
+	case RoleSolo:
+		if len(cfg.Peers) > 0 {
+			return nil, fmt.Errorf("serve: a solo server takes no peers (got %d); set Role", len(cfg.Peers))
+		}
+	case RoleCoordinator:
+		if len(cfg.Peers) == 0 {
+			return nil, errors.New("serve: a coordinator needs at least one peer")
+		}
+	case RoleWorker:
+		if len(cfg.Peers) > 1 {
+			return nil, fmt.Errorf("serve: a worker takes at most one peer to read artifacts through, got %d", len(cfg.Peers))
+		}
+	default:
+		return nil, fmt.Errorf("serve: unknown role %q (want %s, %s, or %s)", cfg.Role, RoleSolo, RoleCoordinator, RoleWorker)
+	}
 	logger := cfg.Logger
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -168,15 +220,61 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.store = st
-		s.svc.SetBackend(st)
-		mgr, err := jobs.Open(jobs.Config{
-			Dir:     filepath.Join(cfg.StoreDir, "jobs"),
-			Service: s.svc,
-			Store:   st,
-			Workers: cfg.JobWorkers,
+	}
+	// The measurement cache's durable tier: local store, and for a
+	// worker with a peer, a read-through to the peer's artifacts behind
+	// it — so a shard re-routed after another worker's death can pull
+	// the already-measured trace instead of re-measuring.
+	var backend core.TraceBackend
+	switch {
+	case s.store != nil && cfg.Role == RoleWorker && len(cfg.Peers) == 1:
+		backend = &cluster.ChainBackend{
+			Local:  s.store,
+			Remote: cluster.NewRemoteBackend(cfg.Peers[0], cfg.MaxTraceBytes, nil),
+		}
+	case s.store != nil:
+		backend = s.store
+	case cfg.Role == RoleWorker && len(cfg.Peers) == 1:
+		backend = cluster.NewRemoteBackend(cfg.Peers[0], cfg.MaxTraceBytes, nil)
+	}
+	if backend != nil {
+		s.svc.SetBackend(backend)
+	}
+	switch cfg.Role {
+	case RoleWorker:
+		s.worker = cluster.NewWorker(s.svc, 0)
+	case RoleCoordinator:
+		coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+			Peers:        cfg.Peers,
+			Service:      s.svc,
+			LeaseMs:      cfg.ClusterLeaseMs,
+			PollInterval: cfg.ClusterPoll,
 		})
 		if err != nil {
-			st.Close()
+			if s.store != nil {
+				s.store.Close()
+			}
+			return nil, err
+		}
+		s.coord = coord
+	}
+	if s.store != nil {
+		jcfg := jobs.Config{
+			Dir:     filepath.Join(cfg.StoreDir, "jobs"),
+			Service: s.svc,
+			Store:   s.store,
+			Workers: cfg.JobWorkers,
+		}
+		if s.coord != nil {
+			// A coordinator's async jobs shard exactly like its
+			// synchronous sweeps; results still persist per cell in the
+			// LOCAL store, so a coordinator SIGKILL resumes with completed
+			// shards loaded from disk, not re-dispatched.
+			jcfg.Dispatch = s.coord
+		}
+		mgr, err := jobs.Open(jcfg)
+		if err != nil {
+			s.store.Close()
 			return nil, err
 		}
 		s.jobs = mgr
@@ -191,6 +289,9 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Close() error {
 	if s.jobs != nil {
 		s.jobs.Close()
+	}
+	if s.worker != nil {
+		s.worker.Close()
 	}
 	if s.store != nil {
 		return s.store.Close()
@@ -212,6 +313,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/machines", s.handleMachines)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
 	mux.HandleFunc("GET /debug/vars", s.handleVars)
+	if s.worker != nil {
+		mux.HandleFunc("POST /v1/internal/shards", s.worker.HandleDispatch)
+		mux.HandleFunc("GET /v1/internal/shards/{id}", s.worker.HandlePoll)
+	}
+	if s.store != nil {
+		mux.HandleFunc("GET /v1/internal/artifacts/{keyhash}", cluster.ArtifactHandler(s.store))
+	}
 	if s.cfg.EnablePprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -355,18 +463,32 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, apiErr)
 		return
 	}
-	grid := make([]experiments.SweepJob, len(envs))
-	for i, env := range envs {
-		grid[i] = experiments.SweepJob{
-			Name:    b.Name(),
-			Size:    sz,
-			Factory: b.Factory(sz),
-			Mode:    pcxx.ActualSize,
-			Cfg:     env.Config,
-			Procs:   ladder,
+	var series [][]metrics.Point
+	var err error
+	if s.coord != nil {
+		// Coordinator: one shard per ladder point, dispatched across the
+		// worker replicas and merged as exact integers. The series feeds
+		// the same rendering below, so distributed output is byte-identical
+		// to a solo server's.
+		names := make([]string, len(envs))
+		for i, env := range envs {
+			names[i] = env.Name
 		}
+		series, err = s.coord.SweepLadder(r.Context(), b.Name(), sz, names, ladder)
+	} else {
+		grid := make([]experiments.SweepJob, len(envs))
+		for i, env := range envs {
+			grid[i] = experiments.SweepJob{
+				Name:    b.Name(),
+				Size:    sz,
+				Factory: b.Factory(sz),
+				Mode:    pcxx.ActualSize,
+				Cfg:     env.Config,
+				Procs:   ladder,
+			}
+		}
+		series, err = s.svc.SweepGrid(r.Context(), grid)
 	}
-	series, err := s.svc.SweepGrid(r.Context(), grid)
 	if err != nil {
 		writeError(w, pipelineError(err))
 		return

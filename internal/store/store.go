@@ -266,7 +266,14 @@ func (s *Store) quarantinePath(h [32]byte) string {
 // to a different key — quarantines the artifact and reports a miss, so
 // callers recompute instead of consuming bad bytes.
 func (s *Store) Get(key string) ([]byte, bool) {
-	h := KeyHash(key)
+	return s.GetByHash(KeyHash(key))
+}
+
+// GetByHash is Get addressed by the key's hash directly — the shape the
+// cluster artifact-fetch endpoint needs, since peers exchange content
+// addresses, not canonical keys. Verification is identical to Get's: a
+// payload is returned only when every checksum holds.
+func (s *Store) GetByHash(h [32]byte) ([]byte, bool) {
 	s.mu.Lock()
 	el, ok := s.objects[h]
 	if ok {

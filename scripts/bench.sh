@@ -2,6 +2,10 @@
 # Run the hot-path benchmarks and emit one JSON object per benchmark on
 # stdout (a JSON array). BENCH_PATTERN / BENCHTIME override the set and
 # the per-benchmark budget.
+#
+# With the default pattern, every benchmark named in BENCH_baseline.json
+# must produce an output line; a renamed or deleted benchmark otherwise
+# silently drops out of the gate and regressions in it go unwatched.
 set -e
 
 PATTERN="${BENCH_PATTERN:-BenchmarkSimulation\$|BenchmarkSimulationArena\$|BenchmarkSweepBatch\$|BenchmarkFullPipeline\$|BenchmarkTraceCodec|BenchmarkFig7MgridStartup\$|BenchmarkStoreRoundTrip\$}"
@@ -12,6 +16,9 @@ TIME="${BENCHTIME:-1s}"
 # so snapshots are comparable run to run. Skipped when BENCH_PATTERN
 # narrows the set explicitly.
 STREAM_TIME="${STREAM_BENCHTIME:-10x}"
+
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
 
 {
   go test -run '^$' -bench "$PATTERN" -benchtime "$TIME" -benchmem .
@@ -38,4 +45,20 @@ awk '
   }
   BEGIN { print "[" }
   END   { print "\n]" }
-'
+' > "$out"
+cat "$out"
+
+# Cross-check against the committed baseline: with the default pattern,
+# a baseline benchmark that produced no line means the run is
+# incomplete (renamed/deleted benchmark, build skew) and must fail
+# loudly rather than let the gate silently stop watching it.
+if [ -z "${BENCH_PATTERN:-}" ] && [ -f BENCH_baseline.json ]; then
+  missing=""
+  for name in $(grep -o '"name":"[^"]*"' BENCH_baseline.json | cut -d'"' -f4); do
+    grep -q "\"name\":\"$name\"" "$out" || missing="$missing $name"
+  done
+  if [ -n "$missing" ]; then
+    echo "bench.sh: baseline benchmarks produced no output line:$missing" >&2
+    exit 1
+  fi
+fi

@@ -21,6 +21,9 @@
 # scripts/bench.sh (first push, forced push, shallow clone) — only the
 # allocs gate runs; ns/op drift against the committed baseline is
 # reported as a note, not a failure.
+#
+# Set BENCH_DIAG_DIR to a directory to keep the measured snapshots
+# (current.json, baseline.json) for artifact upload when the gate fails.
 set -e
 
 base_ref="$1"
@@ -33,8 +36,17 @@ cleanup() {
 }
 trap cleanup EXIT
 
+# snapshot <file> — mirror a measurement into the diagnostics dir the
+# moment it exists, so a later failure still has it.
+snapshot() {
+	[ -n "${BENCH_DIAG_DIR:-}" ] || return 0
+	mkdir -p "$BENCH_DIAG_DIR"
+	cp "$1" "$BENCH_DIAG_DIR/"
+}
+
 echo "bench-gate: benchmarking working tree..."
 ./scripts/bench.sh > "$tmpdir/current.json"
+snapshot "$tmpdir/current.json"
 
 if [ -n "$base_ref" ] &&
 	git rev-parse --verify --quiet "$base_ref^{commit}" >/dev/null &&
@@ -42,6 +54,7 @@ if [ -n "$base_ref" ] &&
 	echo "bench-gate: benchmarking base $(git rev-parse --short "$base_ref") on this machine..."
 	git worktree add --detach "$tmpdir/base" "$base_ref" >/dev/null 2>&1
 	(cd "$tmpdir/base" && ./scripts/bench.sh) > "$tmpdir/baseline.json"
+	snapshot "$tmpdir/baseline.json"
 	echo "bench-gate: ns/op vs same-machine base snapshot"
 	go run ./scripts/benchgate \
 		-baseline "$tmpdir/baseline.json" -current "$tmpdir/current.json" \
