@@ -24,6 +24,7 @@ import (
 	"extrap/internal/core"
 	"extrap/internal/experiments"
 	"extrap/internal/machine"
+	"extrap/internal/metrics"
 	"extrap/internal/pcxx"
 	"extrap/internal/profile"
 	"extrap/internal/sim"
@@ -329,6 +330,72 @@ func BenchmarkSweepBatch(b *testing.B) {
 			b.StopTimer()
 			if secs := b.Elapsed().Seconds(); secs > 0 {
 				b.ReportMetric(float64(len(jobs))*float64(b.N)/secs, "cells/s")
+			}
+		})
+	}
+}
+
+// sweepFittedJob is the dense-ladder workload for BenchmarkSweepFitted:
+// one Grid curve over every processor count 1..32. The exact arm
+// simulates all 32 cells; the fitted arm simulates only the model
+// package's anchor set (8 cells at the default 25% budget) and answers
+// the rest from the least-squares fit.
+func sweepFittedJob(b *testing.B) experiments.SweepJob {
+	b.Helper()
+	g, err := benchmarks.ByName("grid")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sz := benchmarks.Size{N: 32, Iters: 60}
+	procs := make([]int, 32)
+	for i := range procs {
+		procs[i] = i + 1
+	}
+	return experiments.SweepJob{
+		Name:    g.Name(),
+		Size:    sz,
+		Factory: g.Factory(sz),
+		Mode:    pcxx.ActualSize,
+		Cfg:     machine.GenericDM().Config,
+		Procs:   procs,
+	}
+}
+
+// BenchmarkSweepFitted measures dense-ladder sweep throughput, exact
+// versus fitted, on the streaming service with warm measurement caches
+// — so the arms isolate per-cell simulation against sparse-anchor
+// simulation plus the fit's arithmetic. cells/s counts ladder cells
+// answered, whatever their provenance; the fitted arm's advantage is
+// the 4× fewer simulations behind those answers.
+func BenchmarkSweepFitted(b *testing.B) {
+	for _, bc := range []struct {
+		name   string
+		fitted bool
+	}{{"exact", false}, {"fitted", true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			svc := experiments.NewStreamingService(1, 64, 0)
+			jobs := []experiments.SweepJob{sweepFittedJob(b)}
+			ctx := context.Background()
+			run := func() ([][]metrics.Point, error) {
+				if bc.fitted {
+					return svc.SweepGridFitted(ctx, jobs)
+				}
+				return svc.SweepGrid(ctx, jobs)
+			}
+			// Warm every measurement either arm can touch so the timed
+			// region is simulation + fit, not benchmark measurement.
+			if _, err := svc.SweepGrid(ctx, jobs); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(len(jobs[0].Procs))*float64(b.N)/secs, "cells/s")
 			}
 		})
 	}

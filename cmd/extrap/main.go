@@ -626,6 +626,7 @@ func parseExperimentFlags(args []string) (opts experiments.Options, id, csvDir, 
 	svg := fs.String("svg", "", "also write each figure as SVG into this directory")
 	storeFlag := fs.String("store", "", "durable artifact store directory: measurements persist there and repeated runs reuse them instead of re-measuring (empty = in-memory only)")
 	formatFlag := fs.String("trace-format", "", "run over an encoded trace cache in this wire format (xtrp1|xtrp2); output is byte-identical to the default in-memory run (empty = in-memory)")
+	modeFlag := fs.String("mode", "", "grid mode: exact (default — simulate every ladder cell) or fitted (simulate sparse anchors, answer the rest from an analytic least-squares fit)")
 	if err = fs.Parse(args); err != nil {
 		return opts, "", "", "", "", err
 	}
@@ -641,7 +642,15 @@ func parseExperimentFlags(args []string) (opts experiments.Options, id, csvDir, 
 			return opts, "", "", "", "", fmt.Errorf("experiment: %w", err)
 		}
 	}
-	return experiments.Options{Quick: *quick, Workers: *workers, BatchSize: *batch, TraceFormat: tf}, fs.Arg(0), *csv, *svg, *storeFlag, nil
+	mode := *modeFlag
+	switch mode {
+	case "", "exact":
+		mode = ""
+	case "fitted":
+	default:
+		return opts, "", "", "", "", fmt.Errorf("experiment: -mode must be \"exact\" or \"fitted\", got %q", mode)
+	}
+	return experiments.Options{Quick: *quick, Workers: *workers, BatchSize: *batch, TraceFormat: tf, FitMode: mode}, fs.Arg(0), *csv, *svg, *storeFlag, nil
 }
 
 func cmdExperiment(args []string, w io.Writer) error {

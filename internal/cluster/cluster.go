@@ -25,9 +25,13 @@
 //
 // A shard is leased, not owned: the worker executes it in the
 // background and the coordinator's polls are the heartbeat that keeps
-// the lease alive. A worker whose coordinator dies stops hearing polls,
-// lets the lease expire, cancels the shard's context, and garbage-
-// collects the entry. A coordinator whose worker dies sees its poll (or
+// the lease alive. Execution itself also holds the lease — a shard
+// whose pipeline outruns the poll cadence is never reaped mid-run, so
+// a slow coordinator cannot turn one shard into duplicate work on two
+// replicas. A worker whose coordinator dies finishes the in-flight
+// execution (bounded by the shard work budget), restarts the lease
+// clock on completion, stops hearing polls, lets the lease expire, and
+// garbage-collects the entry. A coordinator whose worker dies sees its poll (or
 // the initial dispatch) fail, marks the peer unhealthy, and re-
 // dispatches the shard to a healthy peer — or, when every peer is down,
 // executes it locally. Either way the sweep completes and the output
@@ -235,6 +239,32 @@ func (sp *ShardSpec) resolve() (benchmarks.Benchmark, benchmarks.Size, []machine
 	sz := benchmarks.Size{N: sp.Size, Iters: sp.Iters}
 	return b, sz, envs, nil
 }
+
+// RetryAfterSeconds derives a Retry-After header value from backlog
+// pressure: 1 second while the backlog is within one capacity's worth
+// of work, one extra second per additional capacity multiple, capped at
+// maxRetryAfterSeconds so a deep queue never tells clients to go away
+// for minutes. Shared by every 429 path — the serve limiter and the
+// worker's shard-capacity rejection — so the hint always reflects load
+// instead of a hardcoded constant.
+func RetryAfterSeconds(backlog, capacity int) int {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if backlog < 0 {
+		backlog = 0
+	}
+	s := 1 + backlog/capacity
+	if s > maxRetryAfterSeconds {
+		s = maxRetryAfterSeconds
+	}
+	return s
+}
+
+// maxRetryAfterSeconds caps the Retry-After hint. Load spikes on this
+// service drain in seconds (requests are bounded by work budgets), so
+// advising a longer back-off would only desynchronize honest clients.
+const maxRetryAfterSeconds = 30
 
 // measurementKey is the canonical cache key of the shard's shared
 // measurement — identical to the key the solo sweep path computes, so

@@ -2,17 +2,21 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 
+	"extrap/internal/benchmarks"
 	"extrap/internal/core"
 	"extrap/internal/experiments"
+	"extrap/internal/machine"
 	"extrap/internal/trace"
 )
 
@@ -293,5 +297,179 @@ func TestRemoteBackendAndChain(t *testing.T) {
 	chain.PutTrace(missKey, format, []byte("local-only"))
 	if len(src) != 1 {
 		t.Errorf("PutTrace leaked to the remote source: %d entries", len(src))
+	}
+}
+
+// TestRetryAfterSeconds: the shared back-off hint scales with backlog
+// pressure, floors at 1, and caps at 30 — and tolerates degenerate
+// inputs without dividing by zero.
+func TestRetryAfterSeconds(t *testing.T) {
+	cases := []struct{ backlog, capacity, want int }{
+		{0, 4, 1},
+		{3, 4, 1},
+		{4, 4, 2},
+		{9, 4, 3},
+		{100, 4, 26},
+		{1000, 4, 30},
+		{256, 256, 2},
+		{-5, 4, 1},
+		{10, 0, 11},
+		{1 << 30, 1, 30},
+	}
+	for _, tc := range cases {
+		if got := RetryAfterSeconds(tc.backlog, tc.capacity); got != tc.want {
+			t.Errorf("RetryAfterSeconds(%d, %d) = %d, want %d", tc.backlog, tc.capacity, got, tc.want)
+		}
+	}
+}
+
+// TestRunningShardHoldsLease is the regression test for the duplicate-
+// work bug: a shard still EXECUTING must not be reaped when its lease
+// timestamp lapses between coordinator polls — execution in flight IS
+// the lease. Only after the shard turns terminal does the (restarted)
+// clock age it out.
+func TestRunningShardHoldsLease(t *testing.T) {
+	svc := experiments.NewStreamingService(1, 64, 0)
+	w := NewWorker(svc, 5*time.Millisecond)
+	t.Cleanup(w.Close)
+
+	// A running shard whose expiry lapsed long ago — the shape the gc
+	// loop sees when execution outruns the poll cadence.
+	sh := &shard{
+		id:     "s-heldlease",
+		cancel: func() {},
+		status: ShardRunning,
+		lease:  50 * time.Millisecond,
+		expiry: time.Now().Add(-time.Hour),
+	}
+	w.mu.Lock()
+	w.shards[sh.id] = sh
+	w.mu.Unlock()
+
+	// Let the collector tick many times over the stale expiry.
+	time.Sleep(60 * time.Millisecond)
+	w.mu.Lock()
+	_, alive := w.shards[sh.id]
+	w.mu.Unlock()
+	if !alive {
+		t.Fatal("running shard with lapsed lease was reaped mid-execution")
+	}
+	if st := w.Stats(); st.Expired != 0 {
+		t.Fatalf("expired counter moved for a running shard: %+v", st)
+	}
+
+	// Completion restarts the clock (what the executor goroutine does);
+	// only from here does abandonment age the shard out.
+	sh.mu.Lock()
+	sh.status = ShardDone
+	sh.expiry = time.Now().Add(sh.lease)
+	sh.mu.Unlock()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		w.mu.Lock()
+		_, alive = w.shards[sh.id]
+		w.mu.Unlock()
+		if !alive {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("terminal shard with lapsed lease was never collected")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := w.Stats(); st.Expired != 1 {
+		t.Errorf("expired counter after terminal collection: %+v, want Expired=1", st)
+	}
+}
+
+// TestDispatchedShardSurvivesSilentCoordinator drives the same property
+// end to end: execution pinned to outlast the minimum lease several
+// times over, no polls while it runs, and the first (late) poll must
+// deliver the result — not 404 — with zero expirations and exactly one
+// accepted+completed. Under the old reaper (which ignored status) the
+// gc loop would collect the shard mid-execution and the re-dispatching
+// coordinator would redo the work.
+func TestDispatchedShardSurvivesSilentCoordinator(t *testing.T) {
+	const lease = MinLeaseMs * time.Millisecond
+	execDone := make(chan struct{})
+	prev := executeShard
+	executeShard = func(ctx context.Context, svc *experiments.Service, b benchmarks.Benchmark, sz benchmarks.Size, threads int, envs []machine.Env) ([]CellResult, error) {
+		defer close(execDone)
+		// Hold execution across several lease windows before running the
+		// real pipeline.
+		select {
+		case <-time.After(3 * lease):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return ExecuteShard(ctx, svc, b, sz, threads, envs)
+	}
+	defer func() { executeShard = prev }()
+
+	w, ts := newWorkerServer(t, 5*time.Millisecond)
+	status, body := postShard(t, ts.URL,
+		fmt.Sprintf(`{"benchmark":"grid","size":16,"iters":4,"threads":2,"machines":["cm5","generic-dm"],"lease_ms":%d}`, MinLeaseMs))
+	if status != http.StatusAccepted {
+		t.Fatalf("dispatch: status %d: %s", status, body)
+	}
+	var acc ShardAccepted
+	if err := json.Unmarshal([]byte(body), &acc); err != nil {
+		t.Fatal(err)
+	}
+	// Silent coordinator: no polls until execution has finished.
+	<-execDone
+	deadline := time.Now().Add(30 * time.Second)
+	var st ShardStatus
+	for {
+		status, body = getURL(t, ts.URL+"/v1/internal/shards/"+acc.ID)
+		if status != http.StatusOK {
+			t.Fatalf("late poll: status %d body %s, want 200", status, body)
+		}
+		if err := json.Unmarshal([]byte(body), &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Status != ShardRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("shard did not finish")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.Status != ShardDone || len(st.Cells) != 2 {
+		t.Fatalf("shard = %+v, want done with 2 cells", st)
+	}
+	if stats := w.Stats(); stats.Expired != 0 || stats.Accepted != 1 || stats.Completed != 1 {
+		t.Errorf("stats = %+v, want 1 accepted, 1 completed, 0 expired", stats)
+	}
+}
+
+// TestDispatchCapacityRejectionRetryAfter: a worker at its shard limit
+// answers 429 with an integer backlog-derived Retry-After.
+func TestDispatchCapacityRejectionRetryAfter(t *testing.T) {
+	w, ts := newWorkerServer(t, 0)
+	w.mu.Lock()
+	for i := 0; i < maxActiveShards; i++ {
+		id := fmt.Sprintf("s-fill%04d", i)
+		w.shards[id] = &shard{id: id, cancel: func() {}, status: ShardDone, lease: time.Hour, expiry: time.Now().Add(time.Hour)}
+	}
+	w.mu.Unlock()
+
+	resp, err := http.Post(ts.URL+"/v1/internal/shards", "application/json", strings.NewReader(validShard))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if resp.StatusCode != http.StatusTooManyRequests || !strings.Contains(buf.String(), "overloaded") {
+		t.Fatalf("full worker dispatch: status %d body %s, want 429 overloaded", resp.StatusCode, buf.String())
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After %q not an integer: %v", resp.Header.Get("Retry-After"), err)
+	}
+	if want := RetryAfterSeconds(maxActiveShards, maxActiveShards); ra != want {
+		t.Errorf("Retry-After = %d, want %d", ra, want)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -107,11 +108,19 @@ func (w *Worker) Stats() WorkerStats {
 }
 
 // gcLoop drops shards whose lease expired without a poll: the
-// coordinator is gone, so the work is cancelled and the entry freed. A
-// subsequent poll for the ID answers 404 — the coordinator (if it was
-// merely partitioned, not dead) treats that as worker death and
-// re-dispatches, which is safe because results are deterministic and
-// content-addressed.
+// coordinator is gone, so the entry is freed. A subsequent poll for the
+// ID answers 404 — the coordinator (if it was merely partitioned, not
+// dead) treats that as worker death and re-dispatches, which is safe
+// because results are deterministic and content-addressed.
+//
+// A shard still EXECUTING holds its lease implicitly: execution in
+// flight is the work the lease exists to protect, and reaping it on a
+// slow coordinator poll would discard real computation only to have the
+// re-dispatch redo it elsewhere (duplicate work, same bytes). The
+// executor restarts the lease clock when it finishes, so a shard whose
+// coordinator truly died still ages out one lease after completing —
+// worker memory stays bounded by maxActiveShards either way, and
+// abandoned-work exposure is bounded by the shard work budget.
 func (w *Worker) gcLoop(interval time.Duration) {
 	defer w.wg.Done()
 	ticker := time.NewTicker(interval)
@@ -124,7 +133,7 @@ func (w *Worker) gcLoop(interval time.Duration) {
 			w.mu.Lock()
 			for id, sh := range w.shards {
 				sh.mu.Lock()
-				dead := now.After(sh.expiry)
+				dead := sh.status != ShardRunning && now.After(sh.expiry)
 				sh.mu.Unlock()
 				if dead {
 					sh.cancel()
@@ -176,11 +185,11 @@ func (w *Worker) HandleDispatch(rw http.ResponseWriter, r *http.Request) {
 	}
 
 	w.mu.Lock()
-	if len(w.shards) >= maxActiveShards {
+	if resident := len(w.shards); resident >= maxActiveShards {
 		w.mu.Unlock()
 		cancel()
 		w.rejected.Add(1)
-		rw.Header().Set("Retry-After", "1")
+		rw.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds(resident, maxActiveShards)))
 		writeError(rw, errf(http.StatusTooManyRequests, "overloaded",
 			"worker at its shard limit (%d resident); retry shortly", maxActiveShards))
 		return
@@ -193,7 +202,7 @@ func (w *Worker) HandleDispatch(rw http.ResponseWriter, r *http.Request) {
 	go func() {
 		defer w.wg.Done()
 		defer cancel()
-		cells, err := ExecuteShard(ctx, w.svc, b, sz, spec.Threads, envs)
+		cells, err := executeShard(ctx, w.svc, b, sz, spec.Threads, envs)
 		sh.mu.Lock()
 		if err != nil {
 			sh.status = ShardFailed
@@ -204,6 +213,10 @@ func (w *Worker) HandleDispatch(rw http.ResponseWriter, r *http.Request) {
 			sh.cells = cells
 			w.completed.Add(1)
 		}
+		// Execution held the lease (gcLoop skips running shards); restart
+		// the clock now so the coordinator gets one full lease to collect
+		// the result before an abandoned entry is garbage-collected.
+		sh.expiry = time.Now().Add(sh.lease)
 		sh.mu.Unlock()
 	}()
 
@@ -242,6 +255,10 @@ func (w *Worker) HandlePoll(rw http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(rw, http.StatusOK, st)
 }
+
+// executeShard is the dispatch goroutine's executor, indirect so tests
+// can pin execution duration against the lease clock.
+var executeShard = ExecuteShard
 
 // ExecuteShard runs one measurement group's cells through svc: the
 // shared measurement is taken (or found in cache/store) once, then

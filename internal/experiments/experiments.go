@@ -54,6 +54,13 @@ type Options struct {
 	// the default in-memory run — this knob exists so CI can diff an
 	// experiment across trace formats.
 	TraceFormat trace.Format
+	// FitMode selects how grids produce their ladder cells: "" or
+	// "exact" simulates every cell; "fitted" simulates only the sparse
+	// anchor set the model package's refinement selects and evaluates
+	// the analytic fit for the rest (rounded to whole virtual
+	// nanoseconds). Fitted output trades exactness on non-anchor cells
+	// for a fraction of the simulation work; anchor cells stay exact.
+	FitMode string
 }
 
 func (o Options) procs() []int {

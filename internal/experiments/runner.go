@@ -2,10 +2,12 @@ package experiments
 
 import (
 	"context"
+	"math"
 
 	"extrap/internal/benchmarks"
 	"extrap/internal/core"
 	"extrap/internal/metrics"
+	"extrap/internal/model"
 	"extrap/internal/pcxx"
 	"extrap/internal/pool"
 	"extrap/internal/sim"
@@ -121,8 +123,12 @@ func (r *runner) job(b benchmarks.Benchmark, mode pcxx.SizeMode, cfg sim.Config,
 	}
 }
 
-// runGrid fans the grid across the experiment's worker pool.
+// runGrid fans the grid across the experiment's worker pool, through
+// the fitted path when the run's FitMode selects it.
 func (r *runner) runGrid(jobs []SweepJob) ([][]metrics.Point, error) {
+	if r.opts.FitMode == "fitted" {
+		return runGridFitted(context.Background(), r.cache, r.opts.Workers, jobs)
+	}
 	return runGrid(context.Background(), r.cache, r.opts.Workers,
 		batchOptions{size: r.opts.BatchSize, stats: r.opts.BatchStats}, jobs)
 }
@@ -183,35 +189,87 @@ func runGrid(ctx context.Context, cache *core.TraceCache, workers int, bo batchO
 func runCellSequential(ctx context.Context, cache *core.TraceCache, jobs []SweepJob, cells []gridCell, points [][]metrics.Point, c int) error {
 	job := &jobs[cells[c].job]
 	n := job.Procs[cells[c].pt]
+	total, err := cellTime(ctx, cache, job, n)
+	if err != nil {
+		return err
+	}
+	points[cells[c].job][cells[c].pt] = metrics.Point{Procs: n, Time: total}
+	return nil
+}
+
+// cellTime measures (through the memo cache) and simulates one cell,
+// returning its exact predicted total.
+func cellTime(ctx context.Context, cache *core.TraceCache, job *SweepJob, n int) (vtime.Time, error) {
 	mopts := core.MeasureOptions{SizeMode: job.Mode}
 	key := cacheKey(job.Name, job.Size, n, mopts)
 	measure := func() (*trace.Trace, error) {
 		return core.MeasureContext(ctx, job.Factory(n), mopts)
 	}
-	var total vtime.Time
 	if cache.Streams() {
 		enc, err := cache.Encoded(key, measure)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		pred, err := core.ExtrapolateEncoded(ctx, enc, job.Cfg)
 		if err != nil {
-			return err
+			return 0, err
 		}
-		total = pred.Result.TotalTime
-	} else {
-		pt, err := cache.Translated(key, measure)
-		if err != nil {
-			return err
-		}
-		res, err := simulateCell(ctx, pt, job.Cfg)
-		if err != nil {
-			return err
-		}
-		total = res.TotalTime
+		return pred.Result.TotalTime, nil
 	}
-	points[cells[c].job][cells[c].pt] = metrics.Point{Procs: n, Time: total}
-	return nil
+	pt, err := cache.Translated(key, measure)
+	if err != nil {
+		return 0, err
+	}
+	res, err := simulateCell(ctx, pt, job.Cfg)
+	if err != nil {
+		return 0, err
+	}
+	return res.TotalTime, nil
+}
+
+// runGridFitted answers each job's ladder through the analytic fitted
+// path: the model package's refinement picks a sparse anchor set per
+// job, anchors simulate exactly like sequential grid cells (same memo
+// cache, same keys), and non-anchor cells evaluate the fit, rounded to
+// whole virtual nanoseconds and clamped non-negative. Jobs fan across
+// the worker pool; each job's refinement is serial and deterministic,
+// so the assembled output is byte-identical at any worker count.
+func runGridFitted(ctx context.Context, cache *core.TraceCache, workers int, jobs []SweepJob) ([][]metrics.Point, error) {
+	points := make([][]metrics.Point, len(jobs))
+	err := pool.Run(workers, len(jobs), func(j int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		job := &jobs[j]
+		sim := func(ctx context.Context, n int) ([]vtime.Time, error) {
+			t, err := cellTime(ctx, cache, job, n)
+			if err != nil {
+				return nil, err
+			}
+			return []vtime.Time{t}, nil
+		}
+		res, err := model.Run(ctx, job.Procs, 1, sim, model.Options{})
+		if err != nil {
+			return err
+		}
+		points[j] = make([]metrics.Point, len(job.Procs))
+		for i, p := range res.Curves[0].Points {
+			if p.Simulated {
+				points[j][i] = metrics.Point{Procs: p.Procs, Time: p.Exact}
+				continue
+			}
+			v := math.Round(p.Value)
+			if v < 0 {
+				v = 0
+			}
+			points[j][i] = metrics.Point{Procs: p.Procs, Time: vtime.Time(v)}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return points, nil
 }
 
 // simulate runs one simulation of an already-translated trace.

@@ -235,3 +235,14 @@ func (s *Service) SweepGrid(ctx context.Context, jobs []SweepJob) ([][]metrics.P
 	bo := batchOptions{size: s.batch, stats: &s.bstats}
 	return runGrid(ctx, s.cache, s.workers, bo, jobs)
 }
+
+// SweepGridFitted answers each job's ladder through the analytic fitted
+// path: only the sparse anchor set the model package's refinement
+// selects is simulated (through the same cache and memoization as
+// SweepGrid), and the remaining cells evaluate the least-squares fit,
+// rounded to whole virtual nanoseconds. Anchor cells carry the exact
+// simulated time; fitted cells are approximations. Output is
+// deterministic and byte-identical at any worker count.
+func (s *Service) SweepGridFitted(ctx context.Context, jobs []SweepJob) ([][]metrics.Point, error) {
+	return runGridFitted(ctx, s.cache, s.workers, jobs)
+}

@@ -36,6 +36,7 @@ import (
 	"extrap/internal/experiments"
 	"extrap/internal/machine"
 	"extrap/internal/metrics"
+	"extrap/internal/model"
 	"extrap/internal/pcxx"
 	"extrap/internal/pool"
 	"extrap/internal/sim"
@@ -59,6 +60,18 @@ func (s Status) Terminal() bool {
 	return s == StatusDone || s == StatusFailed || s == StatusCancelled
 }
 
+// Job modes. The zero value and ModeExact both select the exact grid —
+// every cell simulated. ModeFitted simulates only the sparse anchor set
+// the model package's refinement selects and persists those anchors as
+// ordinary cells; the dense fitted curve is re-derived at render time
+// (model.Replay), so fitted jobs resume after a crash exactly like
+// exact ones — completed anchors load from the store, the deterministic
+// refinement re-requests the same set, and the rendered bytes match.
+const (
+	ModeExact  = "exact"
+	ModeFitted = "fitted"
+)
+
 // Spec is the resolved description of one sweep job: concrete size
 // parameters (defaults already substituted) and registry names. Specs
 // are persisted verbatim, so their resolution must be stable across
@@ -77,6 +90,10 @@ type Spec struct {
 	// the engine's batched simulation kernel engage.
 	Machines []string `json:"machines,omitempty"`
 	Procs    []int    `json:"procs"`
+	// Mode is "" / ModeExact (every cell simulated) or ModeFitted
+	// (sparse anchors simulated, dense curve fitted at render time).
+	// Persisted as "" for exact, so pre-mode job files load unchanged.
+	Mode string `json:"mode,omitempty"`
 }
 
 // machineNames returns the job's machine list: Machines when set, else
@@ -284,7 +301,11 @@ func (m *Manager) loadAll() error {
 			done:   jf.Done,
 		}
 		if jf.Status == StatusDone {
-			j.points = splitCurves(recordsToPoints(jf.Points), len(jf.Spec.Procs))
+			// One curve per machine: the full ladder for exact jobs, the
+			// persisted anchors for fitted ones (readJobFile verified the
+			// count divides evenly).
+			perCurve := len(jf.Points) / len(jf.Spec.machineNames())
+			j.points = splitCurves(recordsToPoints(jf.Points), perCurve)
 		}
 		m.jobs[jf.ID] = j
 		if !jf.Status.Terminal() {
@@ -318,6 +339,9 @@ func (m *Manager) Submit(spec Spec) (string, error) {
 	spec.Benchmark = b.Name()
 	spec.Size = sz.N
 	spec.Iters = sz.Iters
+	if spec.Mode == ModeExact {
+		spec.Mode = "" // normalize: "" and "exact" are one mode
+	}
 	if len(spec.Procs) == 0 {
 		spec.Procs = core.DefaultProcCounts()
 	}
@@ -544,7 +568,15 @@ func readJobFile(path string) (jobFile, error) {
 		return jobFile{}, fmt.Errorf("jobs: job has %d machines", len(jf.Spec.Machines))
 	}
 	if jf.Status == StatusDone {
-		if want := len(jf.Spec.machineNames()) * len(jf.Spec.Procs); len(jf.Points) != want {
+		nm := len(jf.Spec.machineNames())
+		if jf.Spec.Mode == ModeFitted {
+			// A fitted job persists only its anchors: at least one per
+			// curve, machine-major, never more than the full grid.
+			if len(jf.Points) == 0 || len(jf.Points)%nm != 0 || len(jf.Points) > nm*len(jf.Spec.Procs) {
+				return jobFile{}, fmt.Errorf("jobs: done fitted job has %d points for %d machines × %d ladder entries",
+					len(jf.Points), nm, len(jf.Spec.Procs))
+			}
+		} else if want := nm * len(jf.Spec.Procs); len(jf.Points) != want {
 			return jobFile{}, fmt.Errorf("jobs: done job has %d points, want %d", len(jf.Points), want)
 		}
 	}
@@ -591,7 +623,11 @@ func (m *Manager) runJob(id string) {
 
 	b, sz, envs, err := resolveSpec(spec)
 	if err == nil {
-		err = m.runCells(ctx, j, b, sz, envs)
+		if spec.Mode == ModeFitted {
+			err = m.runFitted(ctx, j, b, sz, envs)
+		} else {
+			err = m.runCells(ctx, j, b, sz, envs)
+		}
 	}
 
 	m.mu.Lock()
@@ -599,7 +635,12 @@ func (m *Manager) runJob(id string) {
 	switch {
 	case err == nil:
 		j.status = StatusDone
-		j.done = nm * len(j.spec.Procs)
+		if j.spec.Mode != ModeFitted {
+			j.done = nm * len(j.spec.Procs)
+		}
+		// A fitted job's done count stays at anchors × machines — the
+		// cells actually simulated; the gap to TotalCells is the work
+		// the fit saved.
 		m.doneJobs.Add(1)
 	case j.userStop:
 		j.status = StatusCancelled
@@ -763,6 +804,96 @@ func (m *Manager) runDispatchedPoint(ctx context.Context, j *Job, b benchmarks.B
 	return nil
 }
 
+// runFitted executes a fitted job: the model package's residual-driven
+// refinement picks which ladder points to truly simulate, and each
+// selected anchor runs through the SAME per-point executors the exact
+// grid uses — store lookup first (the resume path), then dispatch,
+// batch, or per-cell simulation — so anchors persist under the same
+// content addresses as exact cells. After a SIGKILL the deterministic
+// refinement re-requests exactly the anchors the interrupted run
+// persisted; those load from the store and only the remainder computes.
+// On success the job's curves collapse to the anchor series — all that
+// needs persisting, since model.Replay re-derives the fitted ladder
+// bit-for-bit at render time.
+func (m *Manager) runFitted(ctx context.Context, j *Job, b benchmarks.Benchmark, sz benchmarks.Size, envs []machine.Env) error {
+	procs := j.spec.Procs
+	sim := func(ctx context.Context, n int) ([]vtime.Time, error) {
+		pi := -1
+		for i, p := range procs {
+			if p == n {
+				pi = i
+				break
+			}
+		}
+		if pi < 0 {
+			return nil, fmt.Errorf("jobs: fitted anchor p=%d is not on the ladder", n)
+		}
+		if err := m.simLadderPoint(ctx, j, b, sz, envs, pi); err != nil {
+			return nil, err
+		}
+		m.mu.Lock()
+		times := make([]vtime.Time, len(envs))
+		for mi := range envs {
+			times[mi] = j.points[mi][pi].Time
+		}
+		m.mu.Unlock()
+		return times, nil
+	}
+	res, err := model.Run(ctx, procs, len(envs), sim, model.Options{})
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	j.points = make([][]metrics.Point, len(envs))
+	for mi := range envs {
+		curve := make([]metrics.Point, len(res.Anchors))
+		for ai, a := range res.Anchors {
+			curve[ai] = metrics.Point{Procs: a.Procs, Time: a.Times[mi]}
+		}
+		j.points[mi] = curve
+	}
+	m.mu.Unlock()
+	return nil
+}
+
+// simLadderPoint executes every machine's cell at ladder index pi
+// through whichever executor the manager is configured with — the same
+// three-way split runCells makes for the whole grid, applied to one
+// point.
+func (m *Manager) simLadderPoint(ctx context.Context, j *Job, b benchmarks.Benchmark, sz benchmarks.Size, envs []machine.Env, pi int) error {
+	if m.cfg.Dispatch != nil {
+		return m.runDispatchedPoint(ctx, j, b, sz, envs, pi)
+	}
+	if batch := m.cfg.Service.BatchSize(); batch > 1 && len(envs) > 1 {
+		return m.runLadderPoint(ctx, j, b, sz, envs, pi, batch)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	procs := j.spec.Procs
+	n := procs[pi]
+	key := experiments.MeasurementKey(b.Name(), sz, n, core.MeasureOptions{SizeMode: pcxx.ActualSize})
+	for mi := range envs {
+		if m.cellHook != nil {
+			m.cellHook(j.id, mi*len(procs)+pi)
+		}
+		if pt, ok := m.loadCell(key, envs[mi], n); ok {
+			if err := m.finishCell(j, mi, pi, pt); err != nil {
+				return err
+			}
+			continue
+		}
+		pred, err := m.cfg.Service.Predict(ctx, b, sz, n, pcxx.ActualSize, envs[mi].Config)
+		if err != nil {
+			return err
+		}
+		if err := m.storeCell(j, key, envs[mi], mi, pi, n, pred); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // loadCell restores one cell's prediction from the artifact store, if
 // present and decodable. An undecodable record under a verified
 // checksum is format skew; the caller recomputes and overwrites.
@@ -848,6 +979,11 @@ func resolveSpec(sp Spec) (benchmarks.Benchmark, benchmarks.Size, []machine.Env,
 		if n < 1 {
 			return nil, benchmarks.Size{}, nil, fmt.Errorf("jobs: invalid ladder entry %d", n)
 		}
+	}
+	switch sp.Mode {
+	case "", ModeExact, ModeFitted:
+	default:
+		return nil, benchmarks.Size{}, nil, fmt.Errorf("jobs: unknown mode %q", sp.Mode)
 	}
 	return b, sz, envs, nil
 }

@@ -1,0 +1,271 @@
+package model
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"extrap/internal/vtime"
+)
+
+// synthSim builds a Simulator evaluating the given analytic curves
+// (rounded to whole virtual nanoseconds, like every real simulation).
+func synthSim(t *testing.T, calls *int, curves ...func(p int) float64) Simulator {
+	t.Helper()
+	return func(_ context.Context, p int) ([]vtime.Time, error) {
+		if calls != nil {
+			*calls++
+		}
+		out := make([]vtime.Time, len(curves))
+		for i, f := range curves {
+			out[i] = vtime.Time(math.Round(f(p)))
+		}
+		return out, nil
+	}
+}
+
+func ladderTo(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i + 1
+	}
+	return out
+}
+
+// A curve exactly in the basis span must be recovered to high accuracy
+// from the sparse anchors, and every cell — simulated or fitted — must
+// land on the analytic value.
+func TestFitRecoversBasisCoefficients(t *testing.T) {
+	want := []float64{5e9, 2e9, 3e8, 1e6} // c0 + c1/p + c2·log2(p) + c3·p
+	curve := func(p int) float64 {
+		fp := float64(p)
+		return want[0] + want[1]/fp + want[2]*math.Log2(fp) + want[3]*fp
+	}
+	ladder := ladderTo(64)
+	calls := 0
+	res, err := Run(context.Background(), ladder, 1, synthSim(t, &calls, curve), Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Converged {
+		t.Errorf("fit of an in-span curve did not converge (history %v)", res.ResidualHistory)
+	}
+	budget := AnchorBudget(64, Options{})
+	if len(res.Anchors) > budget || calls > budget {
+		t.Errorf("simulated %d anchors (%d calls), budget %d", len(res.Anchors), calls, budget)
+	}
+	if len(res.Anchors)*4 > len(ladder) {
+		t.Errorf("simulated %d of %d cells, want ≤ 25%%", len(res.Anchors), len(ladder))
+	}
+	got := res.Curves[0].Coeffs
+	if len(got) != len(want) {
+		t.Fatalf("got %d coefficients, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if rel := math.Abs(got[i]-want[i]) / math.Abs(want[i]); rel > 1e-3 {
+			t.Errorf("coeff[%d] (%s) = %g, want %g (rel err %g)", i, BasisNames[i], got[i], want[i], rel)
+		}
+	}
+	for _, pt := range res.Curves[0].Points {
+		exact := curve(pt.Procs)
+		if rel := math.Abs(pt.Value-exact) / exact; rel > DefaultTolerance {
+			t.Errorf("p=%d: value %g vs analytic %g (rel %g)", pt.Procs, pt.Value, exact, rel)
+		}
+		if pt.Simulated {
+			if pt.Interval != 0 || float64(pt.Exact) != pt.Value {
+				t.Errorf("p=%d: simulated point has interval %g, exact %d vs value %g", pt.Procs, pt.Interval, pt.Exact, pt.Value)
+			}
+		} else if pt.Interval < 0 {
+			t.Errorf("p=%d: negative interval %g", pt.Procs, pt.Interval)
+		}
+	}
+}
+
+// maxRelInterval is the refinement target: the worst fitted cell's
+// uncertainty half-width relative to its predicted value.
+func maxRelInterval(res *Result) float64 {
+	maxU := 0.0
+	for _, c := range res.Curves {
+		for _, pt := range c.Points {
+			if pt.Simulated {
+				continue
+			}
+			den := math.Abs(pt.Value)
+			if den < 1 {
+				den = 1
+			}
+			if u := pt.Interval / den; u > maxU {
+				maxU = u
+			}
+		}
+	}
+	return maxU
+}
+
+// Refinement must monotonically reduce the max residual uncertainty of
+// the fitted cells. Anchor selection is greedy and independent of the
+// budget, so running with budgets k and k+1 replays the same anchor
+// trajectory one round apart — sweeping the budget therefore examines
+// successive refinement rounds of one run.
+func TestRefinementMonotonicallyReducesMaxResidual(t *testing.T) {
+	curve := func(p int) float64 { // 1/p term plus a p^1.2 tail the basis can only approximate
+		return 1e9 + 4e9/float64(p) + 2e7*math.Pow(float64(p), 1.2)
+	}
+	sim := synthSim(t, nil, curve)
+	ladder := ladderTo(64)
+	var seq []float64
+	for k := 6; k <= 16; k++ {
+		res, err := Run(context.Background(), ladder, 1, sim,
+			Options{AnchorFrac: float64(k) / 64.0, Tolerance: 1e-12})
+		if err != nil {
+			t.Fatalf("Run (budget %d): %v", k, err)
+		}
+		if len(res.Anchors) != k {
+			t.Fatalf("budget %d simulated %d anchors", k, len(res.Anchors))
+		}
+		if res.Iterations != len(res.ResidualHistory) {
+			t.Errorf("iterations %d != history length %d", res.Iterations, len(res.ResidualHistory))
+		}
+		seq = append(seq, maxRelInterval(res))
+	}
+	for i := 1; i < len(seq); i++ {
+		if seq[i] > seq[i-1]*(1+1e-9) {
+			t.Errorf("round %d max residual uncertainty %g > round %d's %g — refinement made the fit less sure",
+				i, seq[i], i-1, seq[i-1])
+		}
+	}
+	if seq[len(seq)-1] >= seq[0] {
+		t.Errorf("refinement did not reduce uncertainty: first %g, last %g", seq[0], seq[len(seq)-1])
+	}
+}
+
+// The same inputs must produce the same Result, field for field.
+func TestRunDeterministic(t *testing.T) {
+	curveA := func(p int) float64 { return 2e9 + 3e9/float64(p) + 1e7*float64(p) }
+	curveB := func(p int) float64 { return 4e9 + 1e9/float64(p) + 2e8*math.Log2(float64(p)) }
+	ladder := ladderTo(48)
+	r1, err := Run(context.Background(), ladder, 2, synthSim(t, nil, curveA, curveB), Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	r2, err := Run(context.Background(), ladder, 2, synthSim(t, nil, curveA, curveB), Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Error("two identical runs produced different results")
+	}
+}
+
+// Replay over the anchors Run persisted must reproduce the Result
+// exactly, and tampered anchor sets must be rejected.
+func TestReplayMatchesRun(t *testing.T) {
+	curve := func(p int) float64 { return 3e9 + 2e9/float64(p) + 4e7*math.Pow(float64(p), 1.3) }
+	ladder := ladderTo(32)
+	orig, err := Run(context.Background(), ladder, 1, synthSim(t, nil, curve), Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	replayed, err := Replay(ladder, orig.Anchors, Options{})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if !reflect.DeepEqual(orig, replayed) {
+		t.Error("replay differs from the original run")
+	}
+
+	if _, err := Replay(ladder, orig.Anchors[1:], Options{}); err == nil {
+		t.Error("replay with a missing anchor should fail")
+	}
+	extra := append(append([]Anchor(nil), orig.Anchors...), Anchor{Procs: 999, Times: []vtime.Time{1}})
+	if _, err := Replay(ladder, extra, Options{}); err == nil {
+		t.Error("replay with a surplus anchor should fail")
+	}
+	if _, err := Replay(ladder, nil, Options{}); err == nil {
+		t.Error("replay with no anchors should fail")
+	}
+}
+
+func TestAnchorBudget(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{64, 16}, {100, 25}, {8, 6}, {6, 6}, {4, 4}, {1, 1}, {256, 64},
+	}
+	for _, c := range cases {
+		if got := AnchorBudget(c.n, Options{}); got != c.want {
+			t.Errorf("AnchorBudget(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+// Duplicate ladder entries share one anchor simulation and identical
+// rendered cells.
+func TestDuplicateLadderEntries(t *testing.T) {
+	curve := func(p int) float64 { return 1e9 + 1e9/float64(p) }
+	ladder := []int{1, 2, 2, 4, 8, 8, 16, 32}
+	calls := 0
+	res, err := Run(context.Background(), ladder, 1, synthSim(t, &calls, curve), Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if calls > 6 { // six distinct counts
+		t.Errorf("simulated %d times for 6 distinct counts", calls)
+	}
+	pts := res.Curves[0].Points
+	if !reflect.DeepEqual(pts[1], pts[2]) || !reflect.DeepEqual(pts[4], pts[5]) {
+		t.Error("duplicate ladder entries rendered differently")
+	}
+}
+
+func TestRunInputValidation(t *testing.T) {
+	sim := synthSim(t, nil, func(p int) float64 { return 1e9 })
+	if _, err := Run(context.Background(), nil, 1, sim, Options{}); err == nil {
+		t.Error("empty ladder should fail")
+	}
+	if _, err := Run(context.Background(), []int{1, 0}, 1, sim, Options{}); err == nil {
+		t.Error("non-positive ladder entry should fail")
+	}
+	if _, err := Run(context.Background(), []int{1, 2}, 0, sim, Options{}); err == nil {
+		t.Error("zero curves should fail")
+	}
+	boom := errors.New("boom")
+	bad := func(_ context.Context, p int) ([]vtime.Time, error) { return nil, boom }
+	if _, err := Run(context.Background(), ladderTo(16), 1, bad, Options{}); !errors.Is(err, boom) {
+		t.Errorf("simulator error not propagated: %v", err)
+	}
+	short := func(_ context.Context, p int) ([]vtime.Time, error) { return []vtime.Time{1}, nil }
+	if _, err := Run(context.Background(), ladderTo(16), 2, short, Options{}); err == nil {
+		t.Error("curve-count mismatch should fail")
+	}
+}
+
+// Counters must move under Run and stay put under Replay.
+func TestCounters(t *testing.T) {
+	before := ReadCounters()
+	curve := func(p int) float64 { return 2e9 + 1e9/float64(p) }
+	ladder := ladderTo(40)
+	res, err := Run(context.Background(), ladder, 1, synthSim(t, nil, curve), Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	mid := ReadCounters()
+	if mid.Runs != before.Runs+1 {
+		t.Errorf("runs %d, want %d", mid.Runs, before.Runs+1)
+	}
+	if got, want := mid.AnchorsSimulated-before.AnchorsSimulated, int64(len(res.Anchors)); got != want {
+		t.Errorf("anchors simulated +%d, want +%d", got, want)
+	}
+	if got, want := mid.CellsFitted-before.CellsFitted, int64(len(ladder)-len(res.Anchors)); got != want {
+		t.Errorf("cells fitted +%d, want +%d", got, want)
+	}
+	if mid.FitIterations-before.FitIterations != int64(res.Iterations) {
+		t.Errorf("fit iterations +%d, want +%d", mid.FitIterations-before.FitIterations, res.Iterations)
+	}
+	if _, err := Replay(ladder, res.Anchors, Options{}); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if after := ReadCounters(); after != mid {
+		t.Errorf("replay moved counters: %+v -> %+v", mid, after)
+	}
+}

@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 
 	"extrap/internal/benchmarks"
 	"extrap/internal/machine"
+	"extrap/internal/model"
 )
 
 // Request ceilings: the API bounds per-request work up front so a single
@@ -25,6 +27,23 @@ const (
 	maxWorkUnits = 1 << 26
 	maxLadderLen = 16
 	maxBodyBytes = 1 << 20
+	// maxFittedLadderLen is the ladder ceiling for fitted-mode sweeps.
+	// Fitted sweeps simulate only a sparse anchor subset (at most
+	// model.AnchorBudget points), so the dense ladder can be far longer
+	// than the exact mode's without exceeding the same work budget —
+	// which the fitted budget check enforces against the worst-case
+	// anchor set, not the full ladder.
+	maxFittedLadderLen = 256
+)
+
+// Sweep modes. The zero value and "exact" both select the exact path —
+// every ladder cell truly simulated, responses byte-identical to every
+// release since the sweep endpoint existed. "fitted" simulates a sparse
+// anchor set and answers the rest of the ladder from an analytic
+// least-squares fit, with per-point provenance and uncertainty.
+const (
+	modeExact  = "exact"
+	modeFitted = "fitted"
 )
 
 // workUnits is the validation proxy for one measurement's cost: problem
@@ -91,6 +110,13 @@ type SweepRequest struct {
 	Machines []string `json:"machines,omitempty"`
 	// Procs is the ladder; empty selects the paper's {1,2,4,8,16,32}.
 	Procs []int `json:"procs,omitempty"`
+	// Mode selects how ladder cells are produced: "" or "exact" (the
+	// default) simulates every cell; "fitted" simulates a sparse anchor
+	// subset and fits an analytic scaling curve over it, answering the
+	// remaining cells from the fit with per-point provenance and ±
+	// uncertainty intervals. Fitted ladders may hold up to
+	// maxFittedLadderLen entries.
+	Mode string `json:"mode,omitempty"`
 }
 
 // BreakdownJSON is the predicted activity share of total thread time.
@@ -121,27 +147,63 @@ type ExtrapolateResponse struct {
 	Breakdown    BreakdownJSON `json:"breakdown"`
 }
 
-// SweepPoint is one ladder entry of a sweep response.
+// SweepPoint is one ladder entry of a sweep response. Source and
+// IntervalMs are present only in fitted-mode responses — exact sweeps
+// omit them, keeping exact bytes identical to every prior release.
 type SweepPoint struct {
 	Procs       int     `json:"procs"`
 	PredictedMs float64 `json:"predicted_ms"`
 	Speedup     float64 `json:"speedup"`
 	Efficiency  float64 `json:"efficiency"`
+	// Source is the cell's provenance in a fitted sweep: "simulated"
+	// (an anchor — the value is the exact pipeline output) or "fitted"
+	// (the value is the analytic fit's evaluation).
+	Source string `json:"source,omitempty"`
+	// IntervalMs is the ± half-width of the fit's ~95% prediction band
+	// in milliseconds; 0 for simulated anchors. A pointer so fitted
+	// responses always carry the field (including the anchors' exact
+	// 0) while exact responses omit it entirely.
+	IntervalMs *float64 `json:"interval_ms,omitempty"`
 }
 
-// SweepResponse is a processor-scaling series.
+// FitSummary reports a fitted curve's diagnostics: the basis it was fit
+// over, the solved coefficients, and how the residual-driven refinement
+// ended.
+type FitSummary struct {
+	// Basis names the fitted terms; Coefficients[i] multiplies Basis[i].
+	Basis        []string  `json:"basis"`
+	Coefficients []float64 `json:"coefficients"`
+	// Anchors is how many ladder points were truly simulated.
+	Anchors int `json:"anchors"`
+	// Iterations counts fit rounds; Converged reports whether the
+	// relative-residual tolerance was met (vs. exhausting the anchor
+	// budget).
+	Iterations int     `json:"iterations"`
+	Converged  bool    `json:"converged"`
+	Tolerance  float64 `json:"tolerance"`
+	// MaxRelResidual / MeanRelResidual summarize how well the final fit
+	// reproduces its own anchors, relative to each anchor's value.
+	MaxRelResidual  float64 `json:"max_rel_residual"`
+	MeanRelResidual float64 `json:"mean_rel_residual"`
+}
+
+// SweepResponse is a processor-scaling series. Mode and Fit appear only
+// in fitted-mode responses.
 type SweepResponse struct {
 	Benchmark string       `json:"benchmark"`
 	Machine   string       `json:"machine"`
 	Size      int          `json:"size"`
 	Iters     int          `json:"iters"`
+	Mode      string       `json:"mode,omitempty"`
 	Points    []SweepPoint `json:"points"`
+	Fit       *FitSummary  `json:"fit,omitempty"`
 }
 
 // SweepCurve is one machine's series of a multi-machine sweep.
 type SweepCurve struct {
 	Machine string       `json:"machine"`
 	Points  []SweepPoint `json:"points"`
+	Fit     *FitSummary  `json:"fit,omitempty"`
 }
 
 // MultiSweepResponse answers a sweep over several machines: one curve
@@ -152,6 +214,7 @@ type MultiSweepResponse struct {
 	Benchmark string       `json:"benchmark"`
 	Size      int          `json:"size"`
 	Iters     int          `json:"iters"`
+	Mode      string       `json:"mode,omitempty"`
 	Curves    []SweepCurve `json:"curves"`
 }
 
@@ -275,13 +338,25 @@ func (req *SweepRequest) resolve() (benchmarks.Benchmark, benchmarks.Size, []mac
 	if apiErr != nil {
 		return nil, benchmarks.Size{}, nil, nil, apiErr
 	}
+	switch req.Mode {
+	case "", modeExact:
+		req.Mode = "" // normalize: "" and "exact" are one mode
+	case modeFitted:
+	default:
+		return nil, benchmarks.Size{}, nil, nil,
+			errf(http.StatusBadRequest, "invalid_mode", "mode must be %q or %q, got %q", modeExact, modeFitted, req.Mode)
+	}
 	ladder := req.Procs
 	if len(ladder) == 0 {
 		ladder = []int{1, 2, 4, 8, 16, 32}
 	}
-	if len(ladder) > maxLadderLen {
+	ladderCap := maxLadderLen
+	if req.Mode == modeFitted {
+		ladderCap = maxFittedLadderLen
+	}
+	if len(ladder) > ladderCap {
 		return nil, benchmarks.Size{}, nil, nil,
-			errf(http.StatusBadRequest, "invalid_procs", "ladder has %d entries, max %d", len(ladder), maxLadderLen)
+			errf(http.StatusBadRequest, "invalid_procs", "ladder has %d entries, max %d", len(ladder), ladderCap)
 	}
 	totalThreads := 0
 	for _, n := range ladder {
@@ -293,11 +368,38 @@ func (req *SweepRequest) resolve() (benchmarks.Benchmark, benchmarks.Size, []mac
 	}
 	// A sweep measures once per ladder entry — machines share those
 	// measurements — so its budget covers the ladder's thread total,
-	// independent of how many machines are swept.
+	// independent of how many machines are swept. A fitted sweep
+	// simulates only its anchors, so its budget covers the worst-case
+	// anchor set instead of the dense ladder.
+	if req.Mode == modeFitted {
+		totalThreads = fittedThreadBudget(ladder)
+	}
 	if apiErr := checkWorkBudget(sz, totalThreads); apiErr != nil {
 		return nil, benchmarks.Size{}, nil, nil, apiErr
 	}
 	return b, sz, envs, ladder, nil
+}
+
+// fittedThreadBudget is the worst-case measured-thread total of a
+// fitted sweep: refinement simulates at most model.AnchorBudget distinct
+// ladder points, so the heaviest possible anchor set is the largest
+// budget-many distinct entries.
+func fittedThreadBudget(ladder []int) int {
+	u := make([]int, 0, len(ladder))
+	seen := make(map[int]bool, len(ladder))
+	for _, n := range ladder {
+		if !seen[n] {
+			seen[n] = true
+			u = append(u, n)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(u)))
+	budget := model.AnchorBudget(len(u), model.Options{})
+	total := 0
+	for _, n := range u[:budget] {
+		total += n
+	}
+	return total
 }
 
 // resolveMachines validates the machine / machines fields: exactly one

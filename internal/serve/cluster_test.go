@@ -399,3 +399,38 @@ func TestDistributedConcurrentSweeps(t *testing.T) {
 func discardLogger() *slog.Logger {
 	return slog.New(slog.NewTextHandler(io.Discard, nil))
 }
+
+// TestDistributedFittedSweepByteIdentical: fitted mode on a coordinator
+// shards only the sparse anchor simulations across workers, and the
+// rendered body — fit summary, provenance, intervals — must match the
+// solo server's bytes exactly.
+func TestDistributedFittedSweepByteIdentical(t *testing.T) {
+	_, solo := newTestServer(t, Config{Workers: 2})
+	_, w1 := newWorkerServer(t, Config{Workers: 2})
+	_, w2 := newWorkerServer(t, Config{Workers: 2})
+	coordSrv, coord := newCoordinatorServer(t, Config{Workers: 2}, w1.URL, w2.URL)
+
+	for _, body := range []string{
+		fittedSweepBody(`"machine":"cm5"`, 40),
+		fittedSweepBody(`"machines":["cm5","generic-dm"]`, 40),
+	} {
+		status, want := post(t, solo.URL+"/v1/sweep", body)
+		if status != http.StatusOK {
+			t.Fatalf("solo fitted sweep: status %d: %s", status, want)
+		}
+		status, got := post(t, coord.URL+"/v1/sweep", body)
+		if status != http.StatusOK {
+			t.Fatalf("distributed fitted sweep: status %d: %s", status, got)
+		}
+		if got != want {
+			t.Errorf("distributed fitted sweep differs from solo for %s:\n%s\nvs\n%s", body, got, want)
+		}
+	}
+	st := coordSrv.coord.Stats()
+	if st.Dispatched == 0 {
+		t.Error("fitted sweeps dispatched no shards — anchors ran locally")
+	}
+	if st.Local != 0 {
+		t.Errorf("coordinator fell back to local execution %d times with healthy peers", st.Local)
+	}
+}

@@ -20,8 +20,10 @@ import (
 	"extrap/internal/core"
 	"extrap/internal/experiments"
 	"extrap/internal/jobs"
+	"extrap/internal/model"
 	"extrap/internal/pcxx"
 	"extrap/internal/trace"
+	"extrap/internal/vtime"
 )
 
 // JobSubmitResponse is the 202 body: the ID to poll.
@@ -35,14 +37,19 @@ type JobSubmitResponse struct {
 // result field (Result for single-machine, MultiResult for
 // multi-machine) is present only once Status is "done".
 type JobStatusResponse struct {
-	ID          string              `json:"id"`
-	Status      string              `json:"status"`
-	Benchmark   string              `json:"benchmark"`
-	Machine     string              `json:"machine,omitempty"`
-	Machines    []string            `json:"machines,omitempty"`
-	Size        int                 `json:"size"`
-	Iters       int                 `json:"iters"`
-	Procs       []int               `json:"procs"`
+	ID        string   `json:"id"`
+	Status    string   `json:"status"`
+	Benchmark string   `json:"benchmark"`
+	Machine   string   `json:"machine,omitempty"`
+	Machines  []string `json:"machines,omitempty"`
+	Size      int      `json:"size"`
+	Iters     int      `json:"iters"`
+	Procs     []int    `json:"procs"`
+	// Mode is "fitted" for fitted jobs; omitted for exact jobs. A done
+	// fitted job's DoneCells stays at anchors × machines — the cells
+	// actually simulated — while TotalCells is the full grid, so the
+	// gap is the work the fit saved.
+	Mode        string              `json:"mode,omitempty"`
 	TotalCells  int                 `json:"total_cells"`
 	DoneCells   int                 `json:"done_cells"`
 	Error       string              `json:"error,omitempty"`
@@ -96,6 +103,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		Size:      sz.N,
 		Iters:     sz.Iters,
 		Procs:     ladder,
+		Mode:      req.Mode, // resolve normalized: "" (exact) or "fitted"
 	}
 	if len(req.Machines) == 0 {
 		spec.Machine = envs[0].Name
@@ -114,11 +122,10 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, JobSubmitResponse{ID: id, Status: string(jobs.StatusQueued)})
 }
 
-// jobResponse renders one job snapshot. Both result shapes go through
-// buildSweepResponse, so a completed job's numbers are byte-identical
-// to the synchronous /v1/sweep response for the same request.
-func jobResponse(snap jobs.Snapshot) JobStatusResponse {
-	resp := JobStatusResponse{
+// jobSummary renders a job snapshot's progress fields — everything but
+// the results.
+func jobSummary(snap jobs.Snapshot) JobStatusResponse {
+	return JobStatusResponse{
 		ID:         snap.ID,
 		Status:     string(snap.Status),
 		Benchmark:  snap.Spec.Benchmark,
@@ -127,17 +134,34 @@ func jobResponse(snap jobs.Snapshot) JobStatusResponse {
 		Size:       snap.Spec.Size,
 		Iters:      snap.Spec.Iters,
 		Procs:      snap.Spec.Procs,
+		Mode:       snap.Spec.Mode,
 		TotalCells: snap.TotalCells,
 		DoneCells:  snap.DoneCells,
 		Error:      snap.Error,
 	}
+}
+
+// jobResponse renders one job snapshot. Exact results go through
+// buildSweepResponse; fitted results re-derive the dense curve from the
+// persisted anchors via model.Replay and render through the fitted
+// builder — both shared with the synchronous /v1/sweep handler, so a
+// completed job's body is byte-identical to the synchronous response
+// for the same request, across restarts and replicas. A fitted job
+// whose persisted anchors no longer replay (store corruption or
+// tampering) answers 500 rather than serving a curve that cannot be
+// trusted.
+func jobResponse(snap jobs.Snapshot) (JobStatusResponse, *apiError) {
+	resp := jobSummary(snap)
 	if snap.Status != jobs.StatusDone {
-		return resp
+		return resp, nil
+	}
+	if snap.Spec.Mode == jobs.ModeFitted {
+		return fittedJobResponse(snap, resp)
 	}
 	if len(snap.Spec.Machines) == 0 {
 		r := buildSweepResponse(snap.Spec.Benchmark, snap.Spec.Machine, snap.Spec.Size, snap.Spec.Iters, snap.Points)
 		resp.Result = &r
-		return resp
+		return resp, nil
 	}
 	mr := MultiSweepResponse{
 		Benchmark: snap.Spec.Benchmark,
@@ -150,7 +174,45 @@ func jobResponse(snap jobs.Snapshot) JobStatusResponse {
 		mr.Curves[i] = SweepCurve{Machine: name, Points: curve.Points}
 	}
 	resp.MultiResult = &mr
-	return resp
+	return resp, nil
+}
+
+// fittedJobResponse re-derives a done fitted job's dense curves from
+// its persisted anchors. Snapshot curves hold the anchors machine-major
+// with identical processor sequences per machine, which is exactly the
+// transpose of model.Anchor's per-point layout.
+func fittedJobResponse(snap jobs.Snapshot, resp JobStatusResponse) (JobStatusResponse, *apiError) {
+	anchors := make([]model.Anchor, len(snap.Curves[0]))
+	for ai := range anchors {
+		times := make([]vtime.Time, len(snap.Curves))
+		for mi := range snap.Curves {
+			times[mi] = snap.Curves[mi][ai].Time
+		}
+		anchors[ai] = model.Anchor{Procs: snap.Curves[0][ai].Procs, Times: times}
+	}
+	res, err := model.Replay(snap.Spec.Procs, anchors, model.Options{})
+	if err != nil {
+		return resp, errf(http.StatusInternalServerError, "fitted_replay_failed",
+			"job %s: persisted anchors do not replay: %v", snap.ID, err)
+	}
+	if len(snap.Spec.Machines) == 0 {
+		r := buildFittedSweepResponse(snap.Spec.Benchmark, snap.Spec.Machine, snap.Spec.Size, snap.Spec.Iters, res, 0)
+		resp.Result = &r
+		return resp, nil
+	}
+	mr := MultiSweepResponse{
+		Benchmark: snap.Spec.Benchmark,
+		Size:      snap.Spec.Size,
+		Iters:     snap.Spec.Iters,
+		Mode:      modeFitted,
+		Curves:    make([]SweepCurve, len(snap.Spec.Machines)),
+	}
+	for i, name := range snap.Spec.Machines {
+		curve := buildFittedSweepResponse(snap.Spec.Benchmark, name, snap.Spec.Size, snap.Spec.Iters, res, i)
+		mr.Curves[i] = SweepCurve{Machine: name, Points: curve.Points, Fit: curve.Fit}
+	}
+	resp.MultiResult = &mr
+	return resp, nil
 }
 
 // jobArtifacts reports the job's measurement traces resident in the
@@ -184,7 +246,11 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errf(http.StatusNotFound, "unknown_job", "no job %q", r.PathValue("id")))
 		return
 	}
-	resp := jobResponse(snap)
+	resp, apiErr := jobResponse(snap)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
 	resp.Artifacts = s.jobArtifacts(snap)
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -198,9 +264,9 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 	snaps := s.jobs.List()
 	out := make([]JobStatusResponse, len(snaps))
 	for i, snap := range snaps {
-		out[i] = jobResponse(snap)
-		out[i].Result = nil
-		out[i].MultiResult = nil
+		// Results are not listed (poll the job for them), so the summary
+		// suffices — no result rendering, no replay.
+		out[i] = jobSummary(snap)
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -216,5 +282,10 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errf(http.StatusNotFound, "unknown_job", "no job %q", r.PathValue("id")))
 		return
 	}
-	writeJSON(w, http.StatusOK, jobResponse(snap))
+	resp, apiErr := jobResponse(snap)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

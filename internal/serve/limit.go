@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"sync/atomic"
 	"time"
 )
 
@@ -10,8 +11,9 @@ import (
 // they are shed so the server degrades by rejecting (429) instead of
 // collapsing under unbounded concurrent simulations.
 type limiter struct {
-	slots chan struct{}
-	wait  time.Duration
+	slots   chan struct{}
+	wait    time.Duration
+	waiting atomic.Int64 // requests queued for a slot right now
 }
 
 func newLimiter(n int, wait time.Duration) *limiter {
@@ -30,6 +32,8 @@ func (l *limiter) acquire(ctx context.Context) bool {
 	if l.wait <= 0 {
 		return false
 	}
+	l.waiting.Add(1)
+	defer l.waiting.Add(-1)
 	timer := time.NewTimer(l.wait)
 	defer timer.Stop()
 	select {
@@ -41,5 +45,9 @@ func (l *limiter) acquire(ctx context.Context) bool {
 		return false
 	}
 }
+
+// backlog reports how many requests are queued for a slot — the queue
+// depth the Retry-After hint is derived from.
+func (l *limiter) backlog() int { return int(l.waiting.Load()) }
 
 func (l *limiter) release() { <-l.slots }

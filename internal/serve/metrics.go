@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"extrap/internal/model"
 	"extrap/internal/trace"
 )
 
@@ -30,6 +31,7 @@ type metricsSet struct {
 	batchVars     *expvar.Map // batched-sweep counters (batches, cells_batched, fallback_sequential)
 	compVars      *expvar.Map // trace-compaction counters (raw/encoded bytes, replay vs literal)
 	clusterVars   *expvar.Map // shard routing/execution counters (set when Role isn't solo)
+	fittedVars    *expvar.Map // fitted-sweep counters (runs, iterations, anchors, fitted cells)
 }
 
 func newMetricsSet() *metricsSet {
@@ -47,6 +49,7 @@ func newMetricsSet() *metricsSet {
 		batchVars:     new(expvar.Map).Init(),
 		compVars:      new(expvar.Map).Init(),
 		clusterVars:   new(expvar.Map).Init(),
+		fittedVars:    new(expvar.Map).Init(),
 	}
 }
 
@@ -96,6 +99,13 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 	setInt(bv, "cells_batched", bs.CellsBatched)
 	setInt(bv, "fallback_sequential", bs.FallbackSequential)
 	root.Set("batch", bv)
+	fc := model.ReadCounters()
+	fv := s.met.fittedVars
+	setInt(fv, "runs", fc.Runs)
+	setInt(fv, "fit_iterations", fc.FitIterations)
+	setInt(fv, "anchors_simulated", fc.AnchorsSimulated)
+	setInt(fv, "cells_fitted", fc.CellsFitted)
+	root.Set("fitted", fv)
 	if s.store != nil {
 		st := s.store.Stats()
 		sv := s.met.storeVars

@@ -40,9 +40,11 @@ import (
 	"extrap/internal/jobs"
 	"extrap/internal/machine"
 	"extrap/internal/metrics"
+	"extrap/internal/model"
 	"extrap/internal/pcxx"
 	"extrap/internal/store"
 	"extrap/internal/trace"
+	"extrap/internal/vtime"
 )
 
 // Cluster roles. A solo server (the default) owns its whole pipeline; a
@@ -387,7 +389,10 @@ func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if !s.lim.acquire(r.Context()) {
 			s.met.rejected.Add(1)
-			w.Header().Set("Retry-After", "1")
+			// Derive the back-off hint from queue depth against capacity
+			// instead of a constant, so clients behind a pile-up spread out.
+			w.Header().Set("Retry-After",
+				strconv.Itoa(cluster.RetryAfterSeconds(s.lim.backlog(), s.cfg.MaxInFlight)))
 			writeError(w, errf(http.StatusTooManyRequests, "overloaded",
 				"server at its in-flight limit; retry shortly"))
 			return
@@ -463,6 +468,30 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, apiErr)
 		return
 	}
+	if req.Mode == modeFitted {
+		res, apiErr := s.runFittedSweep(r.Context(), b, sz, envs, ladder)
+		if apiErr != nil {
+			writeError(w, apiErr)
+			return
+		}
+		if len(req.Machines) == 0 {
+			writeJSON(w, http.StatusOK, buildFittedSweepResponse(b.Name(), envs[0].Name, sz.N, sz.Iters, res, 0))
+			return
+		}
+		resp := MultiSweepResponse{
+			Benchmark: b.Name(),
+			Size:      sz.N,
+			Iters:     sz.Iters,
+			Mode:      modeFitted,
+			Curves:    make([]SweepCurve, len(envs)),
+		}
+		for i, env := range envs {
+			curve := buildFittedSweepResponse(b.Name(), env.Name, sz.N, sz.Iters, res, i)
+			resp.Curves[i] = SweepCurve{Machine: env.Name, Points: curve.Points, Fit: curve.Fit}
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
 	var series [][]metrics.Point
 	var err error
 	if s.coord != nil {
@@ -532,6 +561,96 @@ func buildSweepResponse(bench, machineName string, size, iters int, points []met
 			Speedup:     speedups[i],
 			Efficiency:  effs[i],
 		}
+	}
+	return resp
+}
+
+// runFittedSweep runs the sparse fitted pipeline: an analytic fit over
+// anchors the refinement chooses, each anchor simulated through the same
+// executor the exact path uses — the coordinator's shard fan-out when
+// clustered (only the sparse anchors are dispatched), the local batch
+// executor otherwise. The fit itself is deterministic arithmetic, so
+// fitted responses are byte-identical across worker counts, batch sizes,
+// and replicas for the same request.
+func (s *Server) runFittedSweep(ctx context.Context, b benchmarks.Benchmark, sz benchmarks.Size, envs []machine.Env, ladder []int) (*model.Result, *apiError) {
+	var sim model.Simulator
+	if s.coord != nil {
+		names := make([]string, len(envs))
+		for i, env := range envs {
+			names[i] = env.Name
+		}
+		sim = func(ctx context.Context, procs int) ([]vtime.Time, error) {
+			return s.coord.RunPoint(ctx, b.Name(), sz, procs, names)
+		}
+	} else {
+		sim = func(ctx context.Context, procs int) ([]vtime.Time, error) {
+			cells, err := cluster.ExecuteShard(ctx, s.svc, b, sz, procs, envs)
+			if err != nil {
+				return nil, err
+			}
+			ts := make([]vtime.Time, len(cells))
+			for i, c := range cells {
+				ts[i] = vtime.Time(c.TotalNs)
+			}
+			return ts, nil
+		}
+	}
+	res, err := model.Run(ctx, ladder, len(envs), sim, model.Options{})
+	if err != nil {
+		return nil, pipelineError(err)
+	}
+	return res, nil
+}
+
+// buildFittedSweepResponse renders curve ci of a fitted result in the
+// sweep response shape, extending the exact renderer's fields with
+// per-point provenance ("simulated" anchors vs "fitted" evaluations),
+// ± prediction intervals, and the fit summary. The speedup baseline is
+// the lowest-procs ladder point, which refinement always anchors, so
+// baselines are exact in every fitted response; a non-positive
+// predicted time renders speedup and efficiency as 0, mirroring
+// metrics.Speedup's division guard.
+func buildFittedSweepResponse(bench, machineName string, size, iters int, res *model.Result, ci int) SweepResponse {
+	cf := res.Curves[ci]
+	resp := SweepResponse{
+		Benchmark: bench,
+		Machine:   machineName,
+		Size:      size,
+		Iters:     iters,
+		Mode:      modeFitted,
+		Points:    make([]SweepPoint, len(cf.Points)),
+		Fit: &FitSummary{
+			Basis:           model.BasisNames[:len(cf.Coeffs)],
+			Coefficients:    cf.Coeffs,
+			Anchors:         len(res.Anchors),
+			Iterations:      res.Iterations,
+			Converged:       res.Converged,
+			Tolerance:       res.Tolerance,
+			MaxRelResidual:  cf.MaxRelResidual,
+			MeanRelResidual: cf.MeanRelResidual,
+		},
+	}
+	base := cf.Points[0]
+	for _, p := range cf.Points {
+		if p.Procs < base.Procs {
+			base = p
+		}
+	}
+	for i, p := range cf.Points {
+		sp := SweepPoint{Procs: p.Procs, PredictedMs: p.Value / 1e6}
+		iv := p.Interval / 1e6
+		sp.IntervalMs = &iv
+		if p.Simulated {
+			sp.Source = "simulated"
+			sp.PredictedMs = p.Exact.Millis()
+		} else {
+			sp.Source = "fitted"
+		}
+		if p.Value > 0 && base.Value > 0 {
+			sp.Speedup = base.Value / p.Value * float64(base.Procs)
+			sp.Efficiency = sp.Speedup / float64(p.Procs)
+		}
+		resp.Points[i] = sp
 	}
 	return resp
 }

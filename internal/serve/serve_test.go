@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -133,18 +134,90 @@ func TestInFlightLimit(t *testing.T) {
 	if !s.lim.acquire(context.Background()) {
 		t.Fatal("could not take the only slot")
 	}
-	status, body := post(t, ts.URL+"/v1/extrapolate", extrapBody("grid", 4, "cm5"))
-	if status != http.StatusTooManyRequests {
-		t.Fatalf("status = %d, want 429 (body %s)", status, body)
+	resp, err := http.Post(ts.URL+"/v1/extrapolate", "application/json",
+		strings.NewReader(extrapBody("grid", 4, "cm5")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	body := string(raw)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 (body %s)", resp.StatusCode, body)
 	}
 	if !strings.Contains(body, `"code":"overloaded"`) {
 		t.Errorf("429 body missing typed code: %s", body)
 	}
+	// Retry-After must be a backlog-derived integer, not a constant
+	// sentinel; with an idle queue the floor is one second.
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil {
+		t.Errorf("Retry-After %q is not an integer: %v", resp.Header.Get("Retry-After"), err)
+	} else if ra < 1 || ra > 30 {
+		t.Errorf("Retry-After = %d, want within [1, 30]", ra)
+	}
 	s.lim.release()
 
-	status, body = post(t, ts.URL+"/v1/extrapolate", extrapBody("grid", 4, "cm5"))
+	status, body := post(t, ts.URL+"/v1/extrapolate", extrapBody("grid", 4, "cm5"))
 	if status != http.StatusOK {
 		t.Fatalf("after release: status = %d: %s", status, body)
+	}
+}
+
+// TestRetryAfterScalesWithBacklog: queued waiters must raise the advice
+// returned to shed clients — Retry-After is derived from queue depth,
+// not a constant.
+func TestRetryAfterScalesWithBacklog(t *testing.T) {
+	s, _ := newTestServer(t, Config{MaxInFlight: 1, QueueWait: 2 * time.Second})
+
+	if !s.lim.acquire(context.Background()) {
+		t.Fatal("could not take the only slot")
+	}
+	defer s.lim.release()
+	// Park waiters in the queue to build a backlog.
+	const waiters = 3
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	for range waiters {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithCancel(context.Background())
+			go func() { <-release; cancel() }()
+			if s.lim.acquire(ctx) {
+				s.lim.release()
+			}
+		}()
+	}
+	defer func() { close(release); wg.Wait() }()
+	deadline := time.Now().Add(time.Second)
+	for s.lim.backlog() < waiters {
+		if time.Now().After(deadline) {
+			t.Fatalf("backlog = %d, want %d", s.lim.backlog(), waiters)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Drive the limited wrapper directly with an already-cancelled
+	// request context: acquire sheds immediately, and the 429 must carry
+	// advice scaled to the parked waiters.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest(http.MethodPost, "/v1/extrapolate",
+		strings.NewReader(extrapBody("grid", 4, "cm5"))).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.limited(func(http.ResponseWriter, *http.Request) {
+		t.Error("handler ran despite shed")
+	})(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", rec.Code)
+	}
+	ra, err := strconv.Atoi(rec.Header().Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After %q not an integer: %v", rec.Header().Get("Retry-After"), err)
+	}
+	if ra < 1+waiters {
+		t.Errorf("Retry-After = %d with backlog %d, want >= %d", ra, waiters, 1+waiters)
 	}
 }
 

@@ -88,6 +88,38 @@ if [ "$dispatched" -lt 1 ]; then
 fi
 echo "cluster-gate: healthy-cluster sweep byte-identical ($dispatched shards dispatched)"
 
+# Phase 1b: fitted-mode determinism. The same dense-ladder fitted sweep
+# must answer byte-for-byte identically from the solo server (-workers
+# 4), a worker replica's public route (-workers 1), and the coordinator
+# (sparse anchors sharded across both workers) — and the response must
+# honor the fitted contract: at most 25% of cells simulated, every
+# point labeled with its provenance and carrying an interval.
+FITTED="{\"benchmark\":\"grid\",\"size\":64,\"iters\":8,\"machines\":[\"cm5\",\"generic-dm\"],\"procs\":[$(seq -s, 1 40)],\"mode\":\"fitted\"}"
+for target in "solo $P0" "worker1 $P1" "coord $P3"; do
+	name=${target% *}
+	port=${target#* }
+	curl -sf -X POST -H 'Content-Type: application/json' -d "$FITTED" \
+		"http://127.0.0.1:$port/v1/sweep" -o "$workdir/${name}_fitted.json"
+done
+for name in worker1 coord; do
+	if ! diff -u "$workdir/solo_fitted.json" "$workdir/${name}_fitted.json"; then
+		echo "cluster-gate: fitted sweep on $name differs from solo" >&2
+		exit 1
+	fi
+done
+anchors=$(jq '[.curves[0].points[] | select(.source == "simulated")] | length' "$workdir/solo_fitted.json")
+total=$(jq '.curves[0].points | length' "$workdir/solo_fitted.json")
+if [ "$anchors" -lt 1 ] || [ $((anchors * 4)) -gt "$total" ]; then
+	echo "cluster-gate: fitted sweep simulated $anchors of $total cells — violates the 25% anchor budget" >&2
+	exit 1
+fi
+unlabeled=$(jq '[.curves[].points[] | select(.source == null or .interval_ms == null)] | length' "$workdir/solo_fitted.json")
+if [ "$unlabeled" -ne 0 ]; then
+	echo "cluster-gate: $unlabeled fitted points missing provenance or interval" >&2
+	exit 1
+fi
+echo "cluster-gate: fitted sweep byte-identical across solo/worker/coordinator ($anchors/$total cells simulated)"
+
 # Phase 2: heavy sweep; SIGKILL worker 1 mid-shard. Heavy enough that
 # shards take seconds on a -workers 1 replica, so the kill lands while
 # worker 1 holds accepted-but-unfinished shards.
