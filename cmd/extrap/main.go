@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"extrap/internal/benchmarks"
+	"extrap/internal/compose"
 	"extrap/internal/core"
 	"extrap/internal/experiments"
 	"extrap/internal/machine"
@@ -109,7 +110,8 @@ commands:
   export      convert a trace (sddf interop format, per-thread splitting)
   calibrate   measure this machine's flop rate; derive MipsRatio vs the models
   experiment  regenerate a paper table/figure (fig4..fig9, table1..table3,
-              ablation-*, or "all")
+              ablation-*, or "all"), or sweep a composed workload spec
+              (-workload spec.json)
   serve       run the extrapolation JSON-over-HTTP API (see README)
 
 run 'extrap <command> -h' for per-command flags.
@@ -617,7 +619,7 @@ func cmdCalibrate(out io.Writer) error {
 // the engine Options plus output destinations. Split from cmdExperiment
 // (and parsed with ContinueOnError) so flag plumbing is testable without
 // the flag package exiting the process.
-func parseExperimentFlags(args []string) (opts experiments.Options, id, csvDir, svgDir, storeDir string, err error) {
+func parseExperimentFlags(args []string) (opts experiments.Options, id, workloadPath, csvDir, svgDir, storeDir string, err error) {
 	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "small problem sizes and a short processor ladder")
 	workers := fs.Int("workers", 0, "worker goroutines for the measurement/simulation grid (0 = all CPUs, 1 = sequential; output is identical at any value)")
@@ -627,19 +629,23 @@ func parseExperimentFlags(args []string) (opts experiments.Options, id, csvDir, 
 	storeFlag := fs.String("store", "", "durable artifact store directory: measurements persist there and repeated runs reuse them instead of re-measuring (empty = in-memory only)")
 	formatFlag := fs.String("trace-format", "", "run over an encoded trace cache in this wire format (xtrp1|xtrp2); output is byte-identical to the default in-memory run (empty = in-memory)")
 	modeFlag := fs.String("mode", "", "grid mode: exact (default — simulate every ladder cell) or fitted (simulate sparse anchors, answer the rest from an analytic least-squares fit)")
+	workloadFlag := fs.String("workload", "", "sweep a composed workload (JSON pattern spec file) over the modeled machines instead of running a registered experiment")
 	if err = fs.Parse(args); err != nil {
-		return opts, "", "", "", "", err
+		return opts, "", "", "", "", "", err
 	}
 	if *workers < 0 {
-		return opts, "", "", "", "", fmt.Errorf("experiment: -workers must be ≥ 0 (0 = all CPUs), got %d", *workers)
+		return opts, "", "", "", "", "", fmt.Errorf("experiment: -workers must be ≥ 0 (0 = all CPUs), got %d", *workers)
 	}
-	if fs.NArg() != 1 {
-		return opts, "", "", "", "", fmt.Errorf("experiment: exactly one experiment id (or \"all\") required")
+	switch {
+	case *workloadFlag == "" && fs.NArg() != 1:
+		return opts, "", "", "", "", "", fmt.Errorf("experiment: exactly one experiment id (or \"all\") required")
+	case *workloadFlag != "" && fs.NArg() != 0:
+		return opts, "", "", "", "", "", fmt.Errorf("experiment: -workload replaces the experiment id; drop %q", fs.Arg(0))
 	}
 	var tf trace.Format
 	if *formatFlag != "" {
 		if tf, err = trace.ParseFormat(*formatFlag); err != nil {
-			return opts, "", "", "", "", fmt.Errorf("experiment: %w", err)
+			return opts, "", "", "", "", "", fmt.Errorf("experiment: %w", err)
 		}
 	}
 	mode := *modeFlag
@@ -648,13 +654,13 @@ func parseExperimentFlags(args []string) (opts experiments.Options, id, csvDir, 
 		mode = ""
 	case "fitted":
 	default:
-		return opts, "", "", "", "", fmt.Errorf("experiment: -mode must be \"exact\" or \"fitted\", got %q", mode)
+		return opts, "", "", "", "", "", fmt.Errorf("experiment: -mode must be \"exact\" or \"fitted\", got %q", mode)
 	}
-	return experiments.Options{Quick: *quick, Workers: *workers, BatchSize: *batch, TraceFormat: tf, FitMode: mode}, fs.Arg(0), *csv, *svg, *storeFlag, nil
+	return experiments.Options{Quick: *quick, Workers: *workers, BatchSize: *batch, TraceFormat: tf, FitMode: mode}, fs.Arg(0), *workloadFlag, *csv, *svg, *storeFlag, nil
 }
 
 func cmdExperiment(args []string, w io.Writer) error {
-	opts, id, csvDir, svgDir, storeDir, err := parseExperimentFlags(args)
+	opts, id, workloadPath, csvDir, svgDir, storeDir, err := parseExperimentFlags(args)
 	if err != nil {
 		return err
 	}
@@ -665,6 +671,9 @@ func cmdExperiment(args []string, w io.Writer) error {
 		}
 		defer st.Close()
 		opts.Backend = st
+	}
+	if workloadPath != "" {
+		return runWorkloadSweep(opts, workloadPath, w)
 	}
 	var exps []experiments.Experiment
 	if id == "all" {
@@ -692,6 +701,92 @@ func cmdExperiment(args []string, w io.Writer) error {
 				return err
 			}
 		}
+	}
+	return nil
+}
+
+// workloadMachines and workloadLadder fix the sweep grid for
+// `extrap experiment -workload`: the machine set and processor ladder
+// are not flags, so the printed table is a pure function of the spec
+// file — CI diffs the output across -workers, -batch, and -trace-format
+// knobs to prove the synthesis pipeline deterministic.
+var workloadMachines = []string{"cm5", "generic-dm", "shared-mem"}
+
+func workloadLadder(quick bool) []int {
+	if quick {
+		return []int{1, 2, 4}
+	}
+	return []int{1, 2, 4, 8, 16, 32}
+}
+
+// runWorkloadSweep parses a composed-workload spec file, synthesizes its
+// pcxx program, and sweeps it over the fixed machine set and ladder,
+// printing one exact integer-nanosecond cell per (procs, machine). The
+// table is byte-identical at any worker count, batch size, or trace
+// format — the same invariant the registered experiments carry.
+func runWorkloadSweep(opts experiments.Options, path string, w io.Writer) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	wl, err := compose.FromJSON(raw)
+	if err != nil {
+		return fmt.Errorf("experiment: workload %s: %w", path, err)
+	}
+
+	var svc *experiments.Service
+	if opts.TraceFormat != 0 {
+		svc = experiments.NewStreamingService(opts.Workers, 64, 0)
+		svc.SetTraceFormat(opts.TraceFormat)
+	} else {
+		svc = experiments.NewService(opts.Workers, 64)
+	}
+	svc.SetBatchSize(opts.BatchSize)
+	if opts.Backend != nil {
+		svc.SetBackend(opts.Backend)
+	}
+
+	sz := wl.DefaultSize()
+	ladder := workloadLadder(opts.Quick)
+	jobs := make([]experiments.SweepJob, len(workloadMachines))
+	for i, name := range workloadMachines {
+		env, err := machine.ByName(name)
+		if err != nil {
+			return err
+		}
+		jobs[i] = experiments.SweepJob{
+			Name:    wl.Name(),
+			Size:    sz,
+			Factory: wl.Factory(sz),
+			Mode:    pcxx.ActualSize,
+			Cfg:     env.Config,
+			Procs:   ladder,
+		}
+	}
+	var curves [][]metrics.Point
+	if opts.FitMode == "fitted" {
+		curves, err = svc.SweepGridFitted(context.Background(), jobs)
+	} else {
+		curves, err = svc.SweepGrid(context.Background(), jobs)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "workload  %s\n", wl.Name())
+	fmt.Fprintf(w, "canonical %s\n", wl.Canonical())
+	fmt.Fprintf(w, "nodes %d  depth %d  size %d  iters %d\n\n", wl.Nodes(), wl.Depth(), sz.N, sz.Iters)
+	fmt.Fprintf(w, "%6s", "procs")
+	for _, name := range workloadMachines {
+		fmt.Fprintf(w, "  %16s", name)
+	}
+	fmt.Fprintln(w)
+	for pi := range ladder {
+		fmt.Fprintf(w, "%6d", curves[0][pi].Procs)
+		for mi := range workloadMachines {
+			fmt.Fprintf(w, "  %16d", int64(curves[mi][pi].Time))
+		}
+		fmt.Fprintln(w)
 	}
 	return nil
 }

@@ -361,7 +361,7 @@ func TestExperimentModeFlag(t *testing.T) {
 		{[]string{"-mode", "approximate", "table3"}, "", true},
 	}
 	for _, tc := range cases {
-		opts, id, _, _, _, err := parseExperimentFlags(tc.args)
+		opts, id, _, _, _, _, err := parseExperimentFlags(tc.args)
 		if tc.wantErr {
 			if err == nil || !strings.Contains(err.Error(), "-mode") {
 				t.Errorf("args %v: err = %v, want -mode error", tc.args, err)
@@ -391,5 +391,51 @@ func TestExperimentFittedRuns(t *testing.T) {
 	}
 	if got, want := strings.Count(buf.String(), "\n"), strings.Count(exact.String(), "\n"); got != want {
 		t.Errorf("fitted output shape differs: %d lines vs exact %d", got, want)
+	}
+}
+
+// TestExperimentWorkloadSweep: `-workload spec.json` synthesizes the
+// composed program and prints a table that is byte-identical across
+// worker counts and trace formats — the determinism CI diffs exactly
+// this output.
+func TestExperimentWorkloadSweep(t *testing.T) {
+	spec := filepath.Join("..", "..", "internal", "compose", "testdata", "nested.json")
+	runs := [][]string{
+		{"-quick", "-workload", spec},
+		{"-quick", "-workers", "4", "-batch", "8", "-workload", spec},
+		{"-quick", "-trace-format", "xtrp1", "-workload", spec},
+		{"-quick", "-trace-format", "xtrp2", "-workers", "4", "-workload", spec},
+	}
+	var want string
+	for i, args := range runs {
+		var buf bytes.Buffer
+		if err := cmdExperiment(args, &buf); err != nil {
+			t.Fatalf("args %v: %v", args, err)
+		}
+		if i == 0 {
+			want = buf.String()
+			if !strings.Contains(want, "workload  wl:") || !strings.Contains(want, "wl/v1|") {
+				t.Fatalf("workload sweep output missing name/canonical header:\n%s", want)
+			}
+			continue
+		}
+		if buf.String() != want {
+			t.Errorf("args %v: output differs from baseline:\n%s\nvs\n%s", args, buf.String(), want)
+		}
+	}
+}
+
+// TestExperimentWorkloadFlagErrors: -workload replaces the experiment
+// id, and a bad spec file fails loudly.
+func TestExperimentWorkloadFlagErrors(t *testing.T) {
+	if _, _, _, _, _, _, err := parseExperimentFlags([]string{"-workload", "spec.json", "fig4"}); err == nil {
+		t.Error("-workload plus an experiment id should be rejected")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"root":{"kind":"warp"}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdExperiment([]string{"-workload", bad}, new(bytes.Buffer)); err == nil {
+		t.Error("invalid workload spec should fail cmdExperiment")
 	}
 }

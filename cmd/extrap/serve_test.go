@@ -9,7 +9,7 @@ import (
 // TestParseExperimentFlags: CLI flags must land in the engine Options
 // verbatim, with the id and output dirs split out.
 func TestParseExperimentFlags(t *testing.T) {
-	opts, id, csvDir, svgDir, storeDir, err := parseExperimentFlags(
+	opts, id, _, csvDir, svgDir, storeDir, err := parseExperimentFlags(
 		[]string{"-quick", "-workers", "3", "-csv", "/tmp/c", "-svg", "/tmp/s", "-store", "/tmp/st", "fig4"})
 	if err != nil {
 		t.Fatal(err)
@@ -21,7 +21,7 @@ func TestParseExperimentFlags(t *testing.T) {
 		t.Errorf("id=%q csv=%q svg=%q store=%q", id, csvDir, svgDir, storeDir)
 	}
 
-	opts, id, _, _, storeDir, err = parseExperimentFlags([]string{"all"})
+	opts, id, _, _, _, storeDir, err = parseExperimentFlags([]string{"all"})
 	if err != nil {
 		t.Fatal(err)
 	}

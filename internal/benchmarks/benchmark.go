@@ -11,6 +11,7 @@
 package benchmarks
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -45,13 +46,39 @@ type Benchmark interface {
 	Factory(size Size) core.ProgramFactory
 }
 
+// WorkEstimator is implemented by benchmarks whose measurement cost is
+// not captured by the registry-wide N×iters×threads proxy — composed
+// workloads, whose cost depends on the pattern tree. Serving-layer work
+// budgets type-assert for it and fall back to the proxy otherwise.
+type WorkEstimator interface {
+	// WorkUnits estimates the measurement cost of one (size, threads)
+	// instantiation in the same abstract units as the serve budget's
+	// N×iters×threads product.
+	WorkUnits(sz Size, threads int) int64
+}
+
+// ErrDuplicate reports a registration whose name is already taken.
+// Callers registering at runtime (compose presets) match it with
+// errors.Is; init-time registration still panics via register.
+var ErrDuplicate = errors.New("benchmarks: duplicate registration")
+
 var registry = map[string]Benchmark{}
 
-func register(b Benchmark) {
+// Register adds b to the registry, failing with an error wrapping
+// ErrDuplicate if the name is taken. Registration is not synchronized:
+// call it from package init paths only, like the built-in kernels do.
+func Register(b Benchmark) error {
 	if _, dup := registry[b.Name()]; dup {
-		panic(fmt.Sprintf("benchmarks: duplicate registration of %q", b.Name()))
+		return fmt.Errorf("%w: %q", ErrDuplicate, b.Name())
 	}
 	registry[b.Name()] = b
+	return nil
+}
+
+func register(b Benchmark) {
+	if err := Register(b); err != nil {
+		panic(err.Error())
+	}
 }
 
 // All returns every registered benchmark sorted by name.

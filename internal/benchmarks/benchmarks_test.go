@@ -1,6 +1,8 @@
 package benchmarks
 
 import (
+	"errors"
+	"sort"
 	"testing"
 
 	"extrap/internal/core"
@@ -126,5 +128,53 @@ func TestTraceDeterminism(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// fakeBench is a registry probe for duplicate-registration tests.
+type fakeBench struct{ name string }
+
+func (f fakeBench) Name() string                     { return f.name }
+func (f fakeBench) Description() string              { return "test probe" }
+func (f fakeBench) DefaultSize() Size                { return Size{N: 1} }
+func (f fakeBench) Factory(Size) core.ProgramFactory { return nil }
+
+// TestRegisterDuplicateTypedError checks the runtime registration path:
+// a name collision returns an error matching ErrDuplicate rather than
+// panicking, so compose presets can register idempotently.
+func TestRegisterDuplicateTypedError(t *testing.T) {
+	probe := fakeBench{name: "test-register-probe"}
+	if err := Register(probe); err != nil {
+		t.Fatalf("first Register: %v", err)
+	}
+	defer delete(registry, probe.name)
+	err := Register(probe)
+	if err == nil {
+		t.Fatal("duplicate Register returned nil")
+	}
+	if !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("duplicate Register error %v does not match ErrDuplicate", err)
+	}
+	if err := Register(fakeBench{name: "embar"}); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("re-registering built-in: got %v, want ErrDuplicate", err)
+	}
+}
+
+// TestAllSortedByName locks the registry listing order: All() must be
+// sorted by name so /v1/benchmarks and /v1/patterns render byte-stable
+// output regardless of map iteration order.
+func TestAllSortedByName(t *testing.T) {
+	for rep := 0; rep < 3; rep++ {
+		all := All()
+		if len(all) == 0 {
+			t.Fatal("empty registry")
+		}
+		if !sort.SliceIsSorted(all, func(i, j int) bool { return all[i].Name() < all[j].Name() }) {
+			names := make([]string, len(all))
+			for i, b := range all {
+				names[i] = b.Name()
+			}
+			t.Fatalf("All() not sorted by name: %v", names)
+		}
 	}
 }

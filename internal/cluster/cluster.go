@@ -68,10 +68,22 @@ import (
 	"strconv"
 
 	"extrap/internal/benchmarks"
+	"extrap/internal/compose"
 	"extrap/internal/core"
 	"extrap/internal/machine"
 	"extrap/internal/pcxx"
 )
+
+// shardWorkUnits estimates one shard's measurement cost: the
+// benchmark's own estimator when it has one (composed workloads know
+// their event totals), else the size×iters×threads proxy the public
+// API has always used.
+func shardWorkUnits(b benchmarks.Benchmark, sz benchmarks.Size, threads int) int64 {
+	if we, ok := b.(benchmarks.WorkEstimator); ok {
+		return we.WorkUnits(sz, threads)
+	}
+	return int64(sz.N) * int64(sz.Iters) * int64(threads)
+}
 
 // Protocol ceilings. Shard specs arrive from peers, not end users, but
 // the caps discipline is the same as the public API's: nothing is
@@ -103,12 +115,21 @@ const (
 // Size and iters are fully resolved — defaults substituted by the
 // coordinator — so the worker's cache keys and content addresses match
 // the coordinator's exactly.
+//
+// Benchmark is ALWAYS set — for a composed workload it is the derived
+// content name ("wl:<hash>"), which is what the affinity hash, cache
+// keys, and store addresses speak. Workload additionally carries the
+// spec JSON so the worker can synthesize the program (ad-hoc workloads
+// are not resolvable from any registry); the worker re-derives the name
+// from those bytes and rejects the shard if it disagrees with
+// Benchmark, so a tampered relay cannot poison a content address.
 type ShardSpec struct {
-	Benchmark string   `json:"benchmark"`
-	Size      int      `json:"size"`
-	Iters     int      `json:"iters"`
-	Threads   int      `json:"threads"`
-	Machines  []string `json:"machines"`
+	Benchmark string          `json:"benchmark"`
+	Workload  json.RawMessage `json:"workload,omitempty"`
+	Size      int             `json:"size"`
+	Iters     int             `json:"iters"`
+	Threads   int             `json:"threads"`
+	Machines  []string        `json:"machines"`
 	// LeaseMs is how long the worker keeps the shard alive without
 	// hearing a poll; 0 selects DefaultLeaseMs.
 	LeaseMs int `json:"lease_ms,omitempty"`
@@ -195,9 +216,26 @@ func (sp *ShardSpec) resolve() (benchmarks.Benchmark, benchmarks.Size, []machine
 	if sp.Benchmark == "" {
 		return nil, benchmarks.Size{}, nil, errf(http.StatusBadRequest, "missing_benchmark", "benchmark is required")
 	}
-	b, err := benchmarks.ByName(sp.Benchmark)
-	if err != nil {
-		return nil, benchmarks.Size{}, nil, errf(http.StatusBadRequest, "unknown_benchmark", "%v", err)
+	var b benchmarks.Benchmark
+	if len(sp.Workload) > 0 {
+		wl, err := compose.FromJSON(sp.Workload)
+		if err != nil {
+			return nil, benchmarks.Size{}, nil, errf(http.StatusBadRequest, "invalid_workload", "%v", err)
+		}
+		// The shard's cache keys and content addresses are derived from
+		// Benchmark, so the spec bytes must actually be the workload that
+		// name promises.
+		if wl.Name() != sp.Benchmark {
+			return nil, benchmarks.Size{}, nil, errf(http.StatusBadRequest, "workload_mismatch",
+				"workload spec derives %s but the shard names %s", wl.Name(), sp.Benchmark)
+		}
+		b = wl
+	} else {
+		var err error
+		b, err = benchmarks.ByName(sp.Benchmark)
+		if err != nil {
+			return nil, benchmarks.Size{}, nil, errf(http.StatusBadRequest, "unknown_benchmark", "%v", err)
+		}
 	}
 	if sp.Size < 1 || sp.Iters < 1 {
 		return nil, benchmarks.Size{}, nil, errf(http.StatusBadRequest, "invalid_size",
@@ -207,9 +245,9 @@ func (sp *ShardSpec) resolve() (benchmarks.Benchmark, benchmarks.Size, []machine
 		return nil, benchmarks.Size{}, nil, errf(http.StatusBadRequest, "invalid_threads",
 			"threads must be in [1, %d], got %d", MaxShardThreads, sp.Threads)
 	}
-	if w := int64(sp.Size) * int64(sp.Iters) * int64(sp.Threads); w > MaxShardWorkUnits {
+	if w := shardWorkUnits(b, benchmarks.Size{N: sp.Size, Iters: sp.Iters}, sp.Threads); w > MaxShardWorkUnits {
 		return nil, benchmarks.Size{}, nil, errf(http.StatusBadRequest, "work_budget_exceeded",
-			"size×iters×threads = %d exceeds the shard budget %d", w, int64(MaxShardWorkUnits))
+			"shard work %d exceeds the budget %d", w, int64(MaxShardWorkUnits))
 	}
 	if len(sp.Machines) == 0 {
 		return nil, benchmarks.Size{}, nil, errf(http.StatusBadRequest, "invalid_machines", "machines is required")

@@ -158,9 +158,16 @@ func (e *permanentError) Unwrap() error { return e.err }
 // and dedup in its single-flight cache), with failover across the
 // remaining peers and local execution as the last resort. The caller's
 // ctx bounds the whole attempt chain.
-func (c *Coordinator) RunPoint(ctx context.Context, bench string, sz benchmarks.Size, threads int, machines []string) ([]vtime.Time, error) {
+//
+// workload, when non-nil, is a composed workload's spec JSON shipped
+// alongside bench (which then names the workload's derived content
+// name) so the worker can synthesize the program; nil for registry
+// benchmarks. Affinity still hashes the measurement key — the name —
+// so a composed configuration lands on one worker like any other.
+func (c *Coordinator) RunPoint(ctx context.Context, bench string, workload []byte, sz benchmarks.Size, threads int, machines []string) ([]vtime.Time, error) {
 	spec := ShardSpec{
 		Benchmark: bench,
+		Workload:  workload,
 		Size:      sz.N,
 		Iters:     sz.Iters,
 		Threads:   threads,
@@ -387,7 +394,7 @@ func cellTimes(cells []CellResult, machines []string) ([]vtime.Time, error) {
 // into one series per machine in machines order. The returned points
 // are exact, so rendering them through the solo path's response builder
 // yields byte-identical output.
-func (c *Coordinator) SweepLadder(ctx context.Context, bench string, sz benchmarks.Size, machines []string, ladder []int) ([][]metrics.Point, error) {
+func (c *Coordinator) SweepLadder(ctx context.Context, bench string, workload []byte, sz benchmarks.Size, machines []string, ladder []int) ([][]metrics.Point, error) {
 	points := make([][]metrics.Point, len(machines))
 	for mi := range points {
 		points[mi] = make([]metrics.Point, len(ladder))
@@ -398,7 +405,7 @@ func (c *Coordinator) SweepLadder(ctx context.Context, bench string, sz benchmar
 		wg.Add(1)
 		go func(pi, n int) {
 			defer wg.Done()
-			times, err := c.RunPoint(ctx, bench, sz, n, machines)
+			times, err := c.RunPoint(ctx, bench, workload, sz, n, machines)
 			if err != nil {
 				errs[pi] = err
 				return

@@ -1,0 +1,63 @@
+package compose
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// wl/v1 canonical encoding.
+//
+// Like the trace/cfg/pred encodings in internal/core, the string built
+// here is a compatibility contract: its SHA-256 derives the workload's
+// registry-facing name (core.WorkloadName), which in turn is the Bench
+// field of every trace and prediction key the workload produces and the
+// affinity hash input of the distributed tier. Two specs that differ
+// only in spelling (field order, defaulted fields, float formatting)
+// canonicalize identically because encoding happens after
+// normalization; changing the encoding orphans every composed artifact
+// ever stored, so bump to wl/v2 and migrate deliberately if it must
+// change. The store golden test locks the format against fixtures.
+
+// Canonical returns the wl/v1 canonical encoding of a normalized spec.
+func (sp *Spec) Canonical() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "wl/v1|size=%d|iters=%d|", sp.Size, sp.Iters)
+	canonNode(&b, &sp.Root)
+	return b.String()
+}
+
+// canonNode spells out one node: kind, the common knobs in fixed order,
+// the kind-specific parameters, then the nested nodes in brackets.
+func canonNode(b *strings.Builder, n *Node) {
+	fmt.Fprintf(b, "%s(g=%d,m=%d,i=%s", n.Kind, n.Grain, n.MessageBytes, canonFloat(n.Imbalance))
+	switch n.Kind {
+	case KindTaskFarm:
+		fmt.Fprintf(b, ",t=%d", n.Tasks)
+	case KindStencil:
+		fmt.Fprintf(b, ",w=%d,h=%d,s=%d", n.Width, n.Height, n.Sweeps)
+	case KindReduction:
+		fmt.Fprintf(b, ",op=%s", n.Op)
+	case KindBSP:
+		fmt.Fprintf(b, ",ss=%d", n.Supersteps)
+	}
+	b.WriteByte(')')
+	kids := n.Stages
+	if len(kids) == 0 {
+		kids = n.Children
+	}
+	if len(kids) > 0 {
+		b.WriteByte('[')
+		for i := range kids {
+			if i > 0 {
+				b.WriteByte(';')
+			}
+			canonNode(b, &kids[i])
+		}
+		b.WriteByte(']')
+	}
+}
+
+// canonFloat formats a float with the shortest round-trippable decimal
+// representation, matching internal/core's convention.
+func canonFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"strconv"
 	"strings"
@@ -32,6 +34,11 @@ import (
 //     identified by its registered name.
 //   - pred/v1 is the concatenation of the two: a prediction is a pure
 //     function of (measurement, configuration).
+//   - wl/v1 covers one composed-workload spec (internal/compose builds
+//     the string from the validated pattern tree); the workload's
+//     registry-facing name is WorkloadName(canonical), so the derived
+//     name participates in trace/pred keys as the Bench field exactly
+//     like a built-in kernel's name.
 
 // Canonical returns the version-1 canonical encoding of the measurement
 // key — the string whose SHA-256 content-addresses the measured trace in
@@ -98,6 +105,19 @@ func CanonicalConfig(cfg sim.Config) string {
 // configuration it was extrapolated under.
 func CanonicalPrediction(k CacheKey, cfg sim.Config) string {
 	return "pred/v1|" + k.Canonical() + "|" + CanonicalConfig(cfg)
+}
+
+// WorkloadName derives the registry-facing name of a composed workload
+// from its wl/v1 canonical encoding: "wl:" plus the first 32 hex digits
+// of the canonical string's SHA-256. Like the canonical encodings above,
+// this derivation is a compatibility contract (locked by the store
+// golden test): the name is the Bench field of every trace and
+// prediction key the workload produces, and it is what coordinators
+// hash for shard affinity — so equal specs must derive equal names on
+// every node, forever.
+func WorkloadName(canonical string) string {
+	sum := sha256.Sum256([]byte(canonical))
+	return "wl:" + hex.EncodeToString(sum[:16])
 }
 
 // canonComm spells out one network configuration. The topology is

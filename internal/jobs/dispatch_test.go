@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"extrap/internal/benchmarks"
+	"extrap/internal/compose"
 	"extrap/internal/experiments"
 	"extrap/internal/machine"
 	"extrap/internal/pcxx"
@@ -26,16 +27,26 @@ type localRunner struct {
 	machines atomic.Int64 // cells requested across all calls
 }
 
-func (r *localRunner) RunPoint(ctx context.Context, bench string, sz benchmarks.Size, threads int, machines []string) ([]vtime.Time, error) {
+func (r *localRunner) RunPoint(ctx context.Context, bench string, workload []byte, sz benchmarks.Size, threads int, machines []string) ([]vtime.Time, error) {
 	r.calls.Add(1)
 	r.machines.Add(int64(len(machines)))
+	b := benchmarks.Benchmark(nil)
+	if len(workload) > 0 {
+		w, err := compose.FromJSON(workload)
+		if err != nil {
+			return nil, err
+		}
+		b = w
+	} else {
+		b = mustBench(bench)
+	}
 	out := make([]vtime.Time, len(machines))
 	for i, name := range machines {
 		env, err := machine.ByName(name)
 		if err != nil {
 			return nil, err
 		}
-		pred, err := r.svc.Predict(ctx, mustBench(bench), sz, threads, pcxx.ActualSize, env.Config)
+		pred, err := r.svc.Predict(ctx, b, sz, threads, pcxx.ActualSize, env.Config)
 		if err != nil {
 			return nil, err
 		}
@@ -165,5 +176,44 @@ func TestDispatchedJobResumesFromStore(t *testing.T) {
 	}
 	if st := m2.Stats(); st.CellsLoaded != int64(len(spec.Machines)*len(spec.Procs)) {
 		t.Errorf("cells loaded = %d, want %d", st.CellsLoaded, len(spec.Machines)*len(spec.Procs))
+	}
+}
+
+// TestDispatchedWorkloadJob: a composed-workload job dispatches its
+// spec bytes with every point, the runner synthesizes the program from
+// them, and the curves match the same job run through the local engine.
+func TestDispatchedWorkloadJob(t *testing.T) {
+	wlSpec := json.RawMessage(`{"size":8,"iters":2,"root":{"kind":"pipeline","stages":[
+		{"kind":"task_farm","tasks":8,"grain":2},
+		{"kind":"reduction","op":"tree"}]}}`)
+	spec := Spec{Workload: wlSpec, Size: 8, Iters: 2, Machines: []string{"cm5", "generic-dm"}, Procs: []int{1, 2, 4}}
+
+	mLocal, _ := newTestManager(t, t.TempDir())
+	idLocal, err := mLocal.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := waitStatus(t, mLocal, idLocal, StatusDone)
+	wl, err := compose.FromJSON(wlSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Spec.Benchmark != wl.Name() {
+		t.Errorf("submitted workload job names %q, want derived %q", want.Spec.Benchmark, wl.Name())
+	}
+
+	run := &localRunner{svc: experiments.NewStreamingService(2, 64, 0)}
+	mDisp, _ := newDispatchManager(t, t.TempDir(), run)
+	idDisp, err := mDisp.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitStatus(t, mDisp, idDisp, StatusDone)
+
+	if !reflect.DeepEqual(got.Curves, want.Curves) {
+		t.Errorf("dispatched workload job curves differ from local:\n%+v\nvs\n%+v", got.Curves, want.Curves)
+	}
+	if run.calls.Load() != int64(len(spec.Procs)) {
+		t.Errorf("RunPoint called %d times, want %d", run.calls.Load(), len(spec.Procs))
 	}
 }

@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 
 	"extrap/internal/benchmarks"
+	"extrap/internal/compose"
 	"extrap/internal/core"
 	"extrap/internal/experiments"
 	"extrap/internal/machine"
@@ -78,8 +79,15 @@ const (
 // restarts — Submit resolves and validates before writing anything.
 type Spec struct {
 	Benchmark string `json:"benchmark"`
-	Size      int    `json:"size"`
-	Iters     int    `json:"iters"`
+	// Workload, when set, is a composed workload's spec JSON: the job
+	// measures the synthesized program instead of a registry benchmark.
+	// Submit resolves Benchmark to the workload's derived content name
+	// ("wl:<hash>"), so every content address the job's cells land on is
+	// a pure function of the persisted spec — a restarted manager
+	// re-derives the same addresses and resumes from the same partials.
+	Workload json.RawMessage `json:"workload,omitempty"`
+	Size     int             `json:"size"`
+	Iters    int             `json:"iters"`
 	// Machine names a single target environment. Exactly one of Machine
 	// / Machines must be set.
 	Machine string `json:"machine,omitempty"`
@@ -197,10 +205,13 @@ type Config struct {
 
 // PointRunner executes one measurement group — benchmark/size at one
 // ladder point, under every named machine — returning one exact total
-// time per machine in machines order. *cluster.Coordinator implements
-// it; jobs declares the interface so the dependency points outward.
+// time per machine in machines order. workload carries a composed
+// workload's spec JSON (nil for registry benchmarks), letting the
+// runner synthesize the program on whatever node executes the point.
+// *cluster.Coordinator implements it; jobs declares the interface so
+// the dependency points outward.
 type PointRunner interface {
-	RunPoint(ctx context.Context, bench string, sz benchmarks.Size, threads int, machines []string) ([]vtime.Time, error)
+	RunPoint(ctx context.Context, bench string, workload []byte, sz benchmarks.Size, threads int, machines []string) ([]vtime.Time, error)
 }
 
 // Manager owns the queue, the worker pool, and the persisted job set.
@@ -789,7 +800,7 @@ func (m *Manager) runDispatchedPoint(ctx context.Context, j *Job, b benchmarks.B
 	for i, mi := range missing {
 		names[i] = envs[mi].Name
 	}
-	times, err := m.cfg.Dispatch.RunPoint(ctx, b.Name(), sz, n, names)
+	times, err := m.cfg.Dispatch.RunPoint(ctx, b.Name(), j.spec.Workload, sz, n, names)
 	if err != nil {
 		return err
 	}
@@ -945,12 +956,27 @@ func (m *Manager) finishCell(j *Job, mi, pi int, pt metrics.Point) error {
 // synchronous API does — so a job's cells land on the same content
 // addresses as the equivalent synchronous sweep.
 func resolveSpec(sp Spec) (benchmarks.Benchmark, benchmarks.Size, []machine.Env, error) {
-	if sp.Benchmark == "" {
-		return nil, benchmarks.Size{}, nil, errors.New("jobs: benchmark is required")
-	}
-	b, err := benchmarks.ByName(sp.Benchmark)
-	if err != nil {
-		return nil, benchmarks.Size{}, nil, fmt.Errorf("jobs: %w", err)
+	var b benchmarks.Benchmark
+	if len(sp.Workload) > 0 {
+		wl, err := compose.FromJSON(sp.Workload)
+		if err != nil {
+			return nil, benchmarks.Size{}, nil, fmt.Errorf("jobs: invalid workload: %w", err)
+		}
+		// A persisted spec carries both fields; the cells' content
+		// addresses key by Benchmark, so the bytes must still derive it.
+		if sp.Benchmark != "" && sp.Benchmark != wl.Name() {
+			return nil, benchmarks.Size{}, nil, fmt.Errorf("jobs: workload derives %s but the spec names %s", wl.Name(), sp.Benchmark)
+		}
+		b = wl
+	} else {
+		if sp.Benchmark == "" {
+			return nil, benchmarks.Size{}, nil, errors.New("jobs: benchmark is required")
+		}
+		var err error
+		b, err = benchmarks.ByName(sp.Benchmark)
+		if err != nil {
+			return nil, benchmarks.Size{}, nil, fmt.Errorf("jobs: %w", err)
+		}
 	}
 	if sp.Machine != "" && len(sp.Machines) > 0 {
 		return nil, benchmarks.Size{}, nil, errors.New("jobs: machine and machines are mutually exclusive")

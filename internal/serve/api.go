@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"extrap/internal/benchmarks"
+	"extrap/internal/compose"
 	"extrap/internal/machine"
 	"extrap/internal/model"
 )
@@ -46,9 +47,14 @@ const (
 	modeFitted = "fitted"
 )
 
-// workUnits is the validation proxy for one measurement's cost: problem
-// size × iterations (at least one) × measured threads.
-func workUnits(sz benchmarks.Size, threads int) int64 {
+// workUnits is the validation proxy for one measurement's cost. A
+// benchmark that can estimate its own work (composed workloads know
+// their event totals) is asked; everything else uses the historical
+// proxy of problem size × iterations (at least one) × measured threads.
+func workUnits(b benchmarks.Benchmark, sz benchmarks.Size, threads int) int64 {
+	if we, ok := b.(benchmarks.WorkEstimator); ok {
+		return we.WorkUnits(sz, threads)
+	}
 	iters := sz.Iters
 	if iters < 1 {
 		iters = 1
@@ -58,10 +64,10 @@ func workUnits(sz benchmarks.Size, threads int) int64 {
 
 // checkWorkBudget rejects configurations whose combined work product
 // exceeds the per-request budget.
-func checkWorkBudget(sz benchmarks.Size, threads int) *apiError {
-	if w := workUnits(sz, threads); w > maxWorkUnits {
+func checkWorkBudget(b benchmarks.Benchmark, sz benchmarks.Size, threads int) *apiError {
+	if w := workUnits(b, sz, threads); w > maxWorkUnits {
 		return errf(http.StatusBadRequest, "work_budget_exceeded",
-			"size×iters×threads = %d exceeds the per-request budget %d; reduce size, iters, or threads",
+			"requested work %d exceeds the per-request budget %d; reduce size, iters, or threads",
 			w, int64(maxWorkUnits))
 	}
 	return nil
@@ -72,7 +78,14 @@ func checkWorkBudget(sz benchmarks.Size, threads int) *apiError {
 // processors.
 type ExtrapolateRequest struct {
 	// Benchmark is a suite benchmark name (see GET /v1/benchmarks).
-	Benchmark string `json:"benchmark"`
+	// Exactly one of Benchmark / Workload must be set.
+	Benchmark string `json:"benchmark,omitempty"`
+	// Workload is an inline composed-workload spec — a nested tree of
+	// parallel patterns synthesized into a program on the fly (see
+	// GET /v1/patterns for the grammar and ceilings). The response's
+	// benchmark field reports the workload's derived content name
+	// ("wl:<hash>").
+	Workload json.RawMessage `json:"workload,omitempty"`
 	// Size is the problem dimension N; 0 selects the benchmark default.
 	Size int `json:"size,omitempty"`
 	// Iters is the iteration count; 0 selects the benchmark default.
@@ -96,9 +109,12 @@ const maxSweepMachines = 16
 // is measured with n threads and simulated on n processors of the
 // target machine(s).
 type SweepRequest struct {
-	Benchmark string `json:"benchmark"`
-	Size      int    `json:"size,omitempty"`
-	Iters     int    `json:"iters,omitempty"`
+	// Benchmark / Workload select the program, exactly as on
+	// POST /v1/extrapolate: one of the two must be set.
+	Benchmark string          `json:"benchmark,omitempty"`
+	Workload  json.RawMessage `json:"workload,omitempty"`
+	Size      int             `json:"size,omitempty"`
+	Iters     int             `json:"iters,omitempty"`
 	// Machine names a single target environment; the response is a
 	// single curve (SweepResponse).
 	Machine string `json:"machine,omitempty"`
@@ -232,6 +248,44 @@ type MachineInfo struct {
 	Description string `json:"description"`
 }
 
+// PatternsResponse answers GET /v1/patterns: the compose DSL's pattern
+// vocabulary, the built-in workload presets (usable anywhere a
+// benchmark name is), and the spec ceilings a workload must stay under.
+type PatternsResponse struct {
+	Patterns []compose.PatternInfo `json:"patterns"`
+	Presets  []WorkloadPresetInfo  `json:"presets"`
+	Limits   WorkloadLimits        `json:"limits"`
+}
+
+// WorkloadPresetInfo describes one registered workload preset,
+// including the canonical wl/v1 encoding its content addresses derive
+// from — so an operator can see exactly which composed tree a preset
+// name resolves to.
+type WorkloadPresetInfo struct {
+	Name         string `json:"name"`
+	Description  string `json:"description"`
+	Canonical    string `json:"canonical"`
+	DefaultSize  int    `json:"default_size"`
+	DefaultIters int    `json:"default_iters"`
+}
+
+// WorkloadLimits publishes the compose package's validation ceilings.
+type WorkloadLimits struct {
+	MaxSpecBytes    int     `json:"max_spec_bytes"`
+	MaxDepth        int     `json:"max_depth"`
+	MaxNodes        int     `json:"max_nodes"`
+	MaxFanout       int     `json:"max_fanout"`
+	MaxTasks        int     `json:"max_tasks"`
+	MaxGridCells    int     `json:"max_grid_cells"`
+	MaxSteps        int     `json:"max_steps"`
+	MaxGrain        int     `json:"max_grain"`
+	MaxMessageBytes int     `json:"max_message_bytes"`
+	MaxImbalance    float64 `json:"max_imbalance"`
+	MaxSize         int     `json:"max_size"`
+	MaxIters        int     `json:"max_iters"`
+	MaxEvents       int64   `json:"max_events"`
+}
+
 // apiError is the typed error envelope every failure returns:
 // {"error":{"code":..., "message":...}} with the matching HTTP status.
 type apiError struct {
@@ -257,15 +311,31 @@ func decodeJSON(r *http.Request, dst any) *apiError {
 	return nil
 }
 
-// resolveBenchmark validates and resolves a benchmark name plus its size
-// parameters, substituting defaults for zero fields.
-func resolveBenchmark(name string, size, iters int) (benchmarks.Benchmark, benchmarks.Size, *apiError) {
-	if name == "" {
-		return nil, benchmarks.Size{}, errf(http.StatusBadRequest, "missing_benchmark", "benchmark is required")
-	}
-	b, err := benchmarks.ByName(name)
-	if err != nil {
-		return nil, benchmarks.Size{}, errf(http.StatusBadRequest, "unknown_benchmark", "%v", err)
+// resolveProgram validates and resolves the program under measurement —
+// a registry benchmark by name, or an inline composed-workload spec
+// synthesized through the compose DSL — plus its size parameters,
+// substituting defaults for zero fields. Exactly one of name / workload
+// must be set.
+func resolveProgram(name string, workload json.RawMessage, size, iters int) (benchmarks.Benchmark, benchmarks.Size, *apiError) {
+	var b benchmarks.Benchmark
+	switch {
+	case len(workload) > 0 && name != "":
+		return nil, benchmarks.Size{}, errf(http.StatusBadRequest, "invalid_workload",
+			"benchmark and workload are mutually exclusive; set one")
+	case len(workload) > 0:
+		w, err := compose.FromJSON(workload)
+		if err != nil {
+			return nil, benchmarks.Size{}, errf(http.StatusBadRequest, "invalid_workload", "%v", err)
+		}
+		b = w
+	case name == "":
+		return nil, benchmarks.Size{}, errf(http.StatusBadRequest, "missing_benchmark", "benchmark or workload is required")
+	default:
+		var err error
+		b, err = benchmarks.ByName(name)
+		if err != nil {
+			return nil, benchmarks.Size{}, errf(http.StatusBadRequest, "unknown_benchmark", "%v", err)
+		}
 	}
 	if size < 0 || size > maxSize {
 		return nil, benchmarks.Size{}, errf(http.StatusBadRequest, "invalid_size", "size must be in [0, %d], got %d", maxSize, size)
@@ -300,7 +370,7 @@ func resolveMachine(name string) (machine.Env, *apiError) {
 // parts: the benchmark, the concrete size, the environment, and the
 // effective processor count.
 func (req *ExtrapolateRequest) resolve() (benchmarks.Benchmark, benchmarks.Size, machine.Env, int, *apiError) {
-	b, sz, apiErr := resolveBenchmark(req.Benchmark, req.Size, req.Iters)
+	b, sz, apiErr := resolveProgram(req.Benchmark, req.Workload, req.Size, req.Iters)
 	if apiErr != nil {
 		return nil, benchmarks.Size{}, machine.Env{}, 0, apiErr
 	}
@@ -312,7 +382,7 @@ func (req *ExtrapolateRequest) resolve() (benchmarks.Benchmark, benchmarks.Size,
 		return nil, benchmarks.Size{}, machine.Env{}, 0,
 			errf(http.StatusBadRequest, "invalid_threads", "threads must be in [1, %d], got %d", maxThreads, req.Threads)
 	}
-	if apiErr := checkWorkBudget(sz, req.Threads); apiErr != nil {
+	if apiErr := checkWorkBudget(b, sz, req.Threads); apiErr != nil {
 		return nil, benchmarks.Size{}, machine.Env{}, 0, apiErr
 	}
 	procs := req.Procs
@@ -330,7 +400,7 @@ func (req *ExtrapolateRequest) resolve() (benchmarks.Benchmark, benchmarks.Size,
 // target environments (one per requested machine, in request order),
 // and ladder. Single-machine requests resolve to a one-element slice.
 func (req *SweepRequest) resolve() (benchmarks.Benchmark, benchmarks.Size, []machine.Env, []int, *apiError) {
-	b, sz, apiErr := resolveBenchmark(req.Benchmark, req.Size, req.Iters)
+	b, sz, apiErr := resolveProgram(req.Benchmark, req.Workload, req.Size, req.Iters)
 	if apiErr != nil {
 		return nil, benchmarks.Size{}, nil, nil, apiErr
 	}
@@ -374,7 +444,7 @@ func (req *SweepRequest) resolve() (benchmarks.Benchmark, benchmarks.Size, []mac
 	if req.Mode == modeFitted {
 		totalThreads = fittedThreadBudget(ladder)
 	}
-	if apiErr := checkWorkBudget(sz, totalThreads); apiErr != nil {
+	if apiErr := checkWorkBudget(b, sz, totalThreads); apiErr != nil {
 		return nil, benchmarks.Size{}, nil, nil, apiErr
 	}
 	return b, sz, envs, ladder, nil

@@ -14,6 +14,7 @@ package serve
 // with extra steps, so without a store they answer 503 store_disabled.
 
 import (
+	"encoding/json"
 	"net/http"
 
 	"extrap/internal/benchmarks"
@@ -37,14 +38,18 @@ type JobSubmitResponse struct {
 // result field (Result for single-machine, MultiResult for
 // multi-machine) is present only once Status is "done".
 type JobStatusResponse struct {
-	ID        string   `json:"id"`
-	Status    string   `json:"status"`
-	Benchmark string   `json:"benchmark"`
-	Machine   string   `json:"machine,omitempty"`
-	Machines  []string `json:"machines,omitempty"`
-	Size      int      `json:"size"`
-	Iters     int      `json:"iters"`
-	Procs     []int    `json:"procs"`
+	ID        string `json:"id"`
+	Status    string `json:"status"`
+	Benchmark string `json:"benchmark"`
+	// Workload is the composed-workload spec the job measures, when it
+	// was submitted with one; Benchmark then holds the derived content
+	// name ("wl:<hash>").
+	Workload json.RawMessage `json:"workload,omitempty"`
+	Machine  string          `json:"machine,omitempty"`
+	Machines []string        `json:"machines,omitempty"`
+	Size     int             `json:"size"`
+	Iters    int             `json:"iters"`
+	Procs    []int           `json:"procs"`
 	// Mode is "fitted" for fitted jobs; omitted for exact jobs. A done
 	// fitted job's DoneCells stays at anchors × machines — the cells
 	// actually simulated — while TotalCells is the full grid, so the
@@ -100,10 +105,14 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	spec := jobs.Spec{
 		Benchmark: b.Name(),
-		Size:      sz.N,
-		Iters:     sz.Iters,
-		Procs:     ladder,
-		Mode:      req.Mode, // resolve normalized: "" (exact) or "fitted"
+		// For a composed workload, the normalized spec JSON persists with
+		// the job (Benchmark then holds the derived wl:<hash> name); nil
+		// for registry benchmarks, presets included.
+		Workload: workloadBytes(b),
+		Size:     sz.N,
+		Iters:    sz.Iters,
+		Procs:    ladder,
+		Mode:     req.Mode, // resolve normalized: "" (exact) or "fitted"
 	}
 	if len(req.Machines) == 0 {
 		spec.Machine = envs[0].Name
@@ -129,6 +138,7 @@ func jobSummary(snap jobs.Snapshot) JobStatusResponse {
 		ID:         snap.ID,
 		Status:     string(snap.Status),
 		Benchmark:  snap.Spec.Benchmark,
+		Workload:   snap.Spec.Workload,
 		Machine:    snap.Spec.Machine,
 		Machines:   snap.Spec.Machines,
 		Size:       snap.Spec.Size,

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"extrap/internal/compose"
 	"extrap/internal/model"
 	"extrap/internal/trace"
 )
@@ -32,6 +33,7 @@ type metricsSet struct {
 	compVars      *expvar.Map // trace-compaction counters (raw/encoded bytes, replay vs literal)
 	clusterVars   *expvar.Map // shard routing/execution counters (set when Role isn't solo)
 	fittedVars    *expvar.Map // fitted-sweep counters (runs, iterations, anchors, fitted cells)
+	composeVars   *expvar.Map // workload-DSL counters (specs parsed, programs synthesized, cache hits)
 }
 
 func newMetricsSet() *metricsSet {
@@ -50,6 +52,7 @@ func newMetricsSet() *metricsSet {
 		compVars:      new(expvar.Map).Init(),
 		clusterVars:   new(expvar.Map).Init(),
 		fittedVars:    new(expvar.Map).Init(),
+		composeVars:   new(expvar.Map).Init(),
 	}
 }
 
@@ -106,6 +109,15 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 	setInt(fv, "anchors_simulated", fc.AnchorsSimulated)
 	setInt(fv, "cells_fitted", fc.CellsFitted)
 	root.Set("fitted", fv)
+	cc := compose.ReadCounters()
+	cmv := s.met.composeVars
+	setInt(cmv, "specs_parsed", cc.SpecsParsed)
+	setInt(cmv, "programs_synthesized", cc.Synthesized)
+	setInt(cmv, "cache_hits", cc.CacheHits)
+	setInt(cmv, "cache_misses", cc.CacheMisses)
+	setInt(cmv, "nodes_lowered", cc.NodesLowered)
+	setInt(cmv, "preset_hits", cc.PresetHits)
+	root.Set("compose", cmv)
 	if s.store != nil {
 		st := s.store.Stats()
 		sv := s.met.storeVars

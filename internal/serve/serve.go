@@ -35,6 +35,7 @@ import (
 
 	"extrap/internal/benchmarks"
 	"extrap/internal/cluster"
+	"extrap/internal/compose"
 	"extrap/internal/core"
 	"extrap/internal/experiments"
 	"extrap/internal/jobs"
@@ -313,6 +314,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("GET /v1/machines", s.handleMachines)
+	mux.HandleFunc("GET /v1/patterns", s.handlePatterns)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
 	mux.HandleFunc("GET /debug/vars", s.handleVars)
 	if s.worker != nil {
@@ -503,7 +505,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		for i, env := range envs {
 			names[i] = env.Name
 		}
-		series, err = s.coord.SweepLadder(r.Context(), b.Name(), sz, names, ladder)
+		series, err = s.coord.SweepLadder(r.Context(), b.Name(), workloadBytes(b), sz, names, ladder)
 	} else {
 		grid := make([]experiments.SweepJob, len(envs))
 		for i, env := range envs {
@@ -580,7 +582,7 @@ func (s *Server) runFittedSweep(ctx context.Context, b benchmarks.Benchmark, sz 
 			names[i] = env.Name
 		}
 		sim = func(ctx context.Context, procs int) ([]vtime.Time, error) {
-			return s.coord.RunPoint(ctx, b.Name(), sz, procs, names)
+			return s.coord.RunPoint(ctx, b.Name(), workloadBytes(b), sz, procs, names)
 		}
 	} else {
 		sim = func(ctx context.Context, procs int) ([]vtime.Time, error) {
@@ -679,6 +681,54 @@ func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {
 		out[i] = MachineInfo{Name: e.Name, Description: e.Description}
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handlePatterns serves GET /v1/patterns: the compose DSL's pattern
+// vocabulary, the built-in workload presets, and the validation
+// ceilings — everything a client needs to author a "workload" object
+// for the compute endpoints. The listing is static per release, so the
+// bytes are stable across processes.
+func (s *Server) handlePatterns(w http.ResponseWriter, r *http.Request) {
+	resp := PatternsResponse{
+		Patterns: compose.Patterns(),
+		Limits: WorkloadLimits{
+			MaxSpecBytes:    compose.MaxSpecBytes,
+			MaxDepth:        compose.MaxDepth,
+			MaxNodes:        compose.MaxNodes,
+			MaxFanout:       compose.MaxFanout,
+			MaxTasks:        compose.MaxTasks,
+			MaxGridCells:    compose.MaxGridCells,
+			MaxSteps:        compose.MaxSteps,
+			MaxGrain:        compose.MaxGrain,
+			MaxMessageBytes: compose.MaxMessageBytes,
+			MaxImbalance:    compose.MaxImbalance,
+			MaxSize:         compose.MaxScale,
+			MaxIters:        compose.MaxSpecIters,
+			MaxEvents:       compose.MaxSpecEvents,
+		},
+	}
+	for _, p := range compose.Presets() {
+		d := p.DefaultSize()
+		resp.Presets = append(resp.Presets, WorkloadPresetInfo{
+			Name:         p.Name(),
+			Description:  p.Description(),
+			Canonical:    p.Workload().Canonical(),
+			DefaultSize:  d.N,
+			DefaultIters: d.Iters,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// workloadBytes extracts the normalized spec JSON to ship with a shard
+// when the program is an ad-hoc composed workload — peers cannot
+// resolve it from any registry. Registry benchmarks (presets included)
+// return nil: their name suffices.
+func workloadBytes(b benchmarks.Benchmark) []byte {
+	if w, ok := b.(*compose.Workload); ok {
+		return w.SpecJSON()
+	}
+	return nil
 }
 
 // handleHealth serves GET /v1/healthz — a readiness probe for smoke

@@ -8,7 +8,7 @@ import (
 )
 
 func TestTopologyHopsSymmetricAndZeroSelf(t *testing.T) {
-	topos := []Topology{Bus{}, Ring{}, Mesh2D{}, Hypercube{}, FatTree{}}
+	topos := []Topology{Bus{}, Ring{}, Mesh2D{}, Hypercube{}, FatTree{}, Dragonfly{}}
 	for _, topo := range topos {
 		for _, procs := range []int{1, 2, 4, 8, 16, 32} {
 			for s := 0; s < procs; s++ {
@@ -64,6 +64,35 @@ func TestFatTreeDistance(t *testing.T) {
 	}
 }
 
+func TestDragonflyDistance(t *testing.T) {
+	d := Dragonfly{} // 4 routers/group × 2 procs/router → groups of 8
+	if h := d.Hops(0, 1, 32); h != 1 {
+		t.Errorf("dragonfly 0→1 = %d, want 1 (same router)", h)
+	}
+	if h := d.Hops(0, 2, 32); h != 2 {
+		t.Errorf("dragonfly 0→2 = %d, want 2 (same group)", h)
+	}
+	if h := d.Hops(0, 8, 32); h != 4 {
+		t.Errorf("dragonfly 0→8 = %d, want 4 (cross group)", h)
+	}
+	// Custom shape: 2 routers/group × 1 proc/router → groups of 2.
+	c := Dragonfly{RoutersPerGroup: 2, ProcsPerRouter: 1}
+	if h := c.Hops(0, 1, 8); h != 2 {
+		t.Errorf("dragonfly2x1 0→1 = %d, want 2", h)
+	}
+	if h := c.Hops(0, 2, 8); h != 4 {
+		t.Errorf("dragonfly2x1 0→2 = %d, want 4", h)
+	}
+	// Links: 8 procs → 4 routers → 1 group: 8 terminal + 6 local + 0 global.
+	if l := (Dragonfly{}).Links(8); l != 14 {
+		t.Errorf("dragonfly Links(8) = %d, want 14", l)
+	}
+	// 16 procs → 8 routers → 2 groups: 16 + 2·6 + 1 = 29.
+	if l := (Dragonfly{}).Links(16); l != 29 {
+		t.Errorf("dragonfly Links(16) = %d, want 29", l)
+	}
+}
+
 func TestMesh2DManhattan(t *testing.T) {
 	m := Mesh2D{}
 	// 16 procs → 4×4 mesh; 0=(0,0), 15=(3,3).
@@ -73,7 +102,7 @@ func TestMesh2DManhattan(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{"bus", "ring", "mesh2d", "hypercube", "fattree"} {
+	for _, name := range []string{"bus", "ring", "mesh2d", "hypercube", "fattree", "dragonfly"} {
 		if _, err := ByName(name); err != nil {
 			t.Errorf("ByName(%q): %v", name, err)
 		}
@@ -248,7 +277,8 @@ func TestTopologyNames(t *testing.T) {
 	names := map[string]Topology{
 		"bus": Bus{}, "ring": Ring{}, "mesh2d": Mesh2D{},
 		"hypercube": Hypercube{}, "fattree4": FatTree{},
-		"fattree2": FatTree{Arity: 2},
+		"fattree2": FatTree{Arity: 2}, "dragonfly4x2": Dragonfly{},
+		"dragonfly8x4": Dragonfly{RoutersPerGroup: 8, ProcsPerRouter: 4},
 	}
 	for want, topo := range names {
 		if topo.Name() != want {

@@ -192,8 +192,71 @@ func (f FatTree) Links(procs int) int {
 	return procs
 }
 
+// Dragonfly models a two-level hierarchical direct network: processors
+// attach to routers, the routers of one group are fully connected by
+// local links, and every group pair is joined by a global link. The hop
+// count is the canonical minimal route — one terminal hop plus the
+// router-level links traversed: 1 within a router, 2 within a group
+// (one local link), and 4 across groups (local + global + local).
+type Dragonfly struct {
+	// RoutersPerGroup is the group size a (routers fully connected by
+	// local links). Zero means 4.
+	RoutersPerGroup int
+	// ProcsPerRouter is the terminal count p per router. Zero means 2.
+	ProcsPerRouter int
+}
+
+func (d Dragonfly) shape() (a, p int) {
+	a, p = d.RoutersPerGroup, d.ProcsPerRouter
+	if a <= 1 {
+		a = 4
+	}
+	if p < 1 {
+		p = 2
+	}
+	return a, p
+}
+
+func (d Dragonfly) Name() string {
+	a, p := d.shape()
+	return fmt.Sprintf("dragonfly%dx%d", a, p)
+}
+
+// Hops returns 0 for self, 1 for processors on the same router, 2 within
+// a group, and 4 across groups (the minimal local-global-local route).
+func (d Dragonfly) Hops(src, dst, _ int) int {
+	if src == dst {
+		return 0
+	}
+	a, p := d.shape()
+	sr, dr := src/p, dst/p
+	if sr == dr {
+		return 1
+	}
+	if sr/a == dr/a {
+		return 2
+	}
+	return 4
+}
+
+// Links counts terminal links (one per processor), the a·(a−1)/2 local
+// links of each group, and the g·(g−1)/2 global links between groups.
+func (d Dragonfly) Links(procs int) int {
+	if procs < 1 {
+		return 1
+	}
+	a, p := d.shape()
+	routers := (procs + p - 1) / p
+	groups := (routers + a - 1) / a
+	l := procs + groups*a*(a-1)/2 + groups*(groups-1)/2
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
 // ByName returns the topology with the given name (as produced by Name,
-// modulo the fat-tree arity suffix).
+// modulo the fat-tree arity and dragonfly shape suffixes).
 func ByName(name string) (Topology, error) {
 	switch name {
 	case "bus":
@@ -206,6 +269,8 @@ func ByName(name string) (Topology, error) {
 		return Hypercube{}, nil
 	case "fattree", "fattree4":
 		return FatTree{}, nil
+	case "dragonfly", "dragonfly4x2":
+		return Dragonfly{}, nil
 	}
 	return nil, fmt.Errorf("network: unknown topology %q", name)
 }

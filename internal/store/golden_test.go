@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"extrap/internal/compose"
 	"extrap/internal/core"
 	"extrap/internal/pcxx"
 	"extrap/internal/sim"
@@ -76,6 +77,20 @@ func goldenKeys() []struct {
 		},
 		EmitTrace: true,
 	}
+	// Composed workloads: the wl/v1 canonical encoding, and a trace key
+	// whose Bench field is the derived workload name — locking both the
+	// spec encoding and the name derivation (core.WorkloadName) that
+	// every composed trace/prediction address builds on.
+	wlBasic := mustWorkload(`{"root":{"kind":"bsp"}}`)
+	wlNested := mustWorkload(`{"size":8,"iters":2,"root":{"kind":"seq","children":[
+		{"kind":"pipeline","message_bytes":64,"imbalance":0.25,"stages":[
+			{"kind":"task_farm","tasks":24,"grain":4,"imbalance":0.5},
+			{"kind":"stencil","width":16,"height":4,"sweeps":2,"grain":2,"message_bytes":128}]},
+		{"kind":"par","children":[
+			{"kind":"reduction","op":"flat","grain":3},
+			{"kind":"bsp","supersteps":2,"grain":5,"message_bytes":256}]},
+		{"kind":"stencil","width":32,"sweeps":1}]}}`)
+	wlTraceKey := core.CacheKey{Bench: wlNested.Name(), N: 8, Iters: 2, Threads: 16}
 	return []struct {
 		name      string
 		canonical string
@@ -91,7 +106,21 @@ func goldenKeys() []struct {
 		{"cfg-full", core.CanonicalConfig(fullCfg)},
 		{"pred-basic-default", core.CanonicalPrediction(basicKey, defCfg)},
 		{"pred-full-full", core.CanonicalPrediction(fullKey, fullCfg)},
+		{"wl-basic", wlBasic.Canonical()},
+		{"wl-nested", wlNested.Canonical()},
+		{"wl-trace-nested", wlTraceKey.Canonical()},
+		{"wl-pred-nested", core.CanonicalPrediction(wlTraceKey, defCfg)},
 	}
+}
+
+// mustWorkload parses a golden workload spec; fixture specs are
+// constants, so a parse failure is a bug in the test itself.
+func mustWorkload(spec string) *compose.Workload {
+	w, err := compose.FromJSON([]byte(spec))
+	if err != nil {
+		panic(err)
+	}
+	return w
 }
 
 const goldenPath = "testdata/keys.golden"
