@@ -532,15 +532,17 @@ func sampleHeapPeak(b *testing.B, fn func()) uint64 {
 }
 
 // bigTraceEncoded materializes the ≥1M-event synthetic measurement once,
-// encodes it, and returns the compact bytes plus the in-memory
-// pipeline's prediction as the equivalence reference. The live trace is
-// dropped before returning so benchmarks start from the bytes alone.
+// encodes it in the compiled XTRP2 format (so the streaming pipeline's
+// pattern-native replay path is the one measured), and returns the
+// compact bytes plus the in-memory pipeline's prediction as the
+// equivalence reference. The live trace is dropped before returning so
+// benchmarks start from the bytes alone.
 func bigTraceEncoded(b *testing.B, cfg sim.Config) (enc []byte, nEvents int, want vtime.Time) {
 	b.Helper()
 	tr := syntheticBigMeasurement(b, 16, 4000, 1_000_000)
 	nEvents = len(tr.Events)
 	var buf bytes.Buffer
-	if err := trace.WriteBinary(&buf, tr); err != nil {
+	if err := trace.WriteBinary2(&buf, tr); err != nil {
 		b.Fatal(err)
 	}
 	pt, err := translate.Translate(tr)
@@ -598,7 +600,7 @@ func BenchmarkInMemoryPipelineMemory(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		live := sampleHeapPeak(b, func() {
-			tr, err := trace.ReadBinary(bytes.NewReader(enc))
+			tr, err := trace.ReadBinaryAny(bytes.NewReader(enc))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -689,4 +691,75 @@ func BenchmarkTraceCodecXTRP2(b *testing.B) {
 	}
 	b.SetBytes(int64(37 * len(tr.Events)))
 	b.ReportMetric(ratio, "x-smaller")
+}
+
+// BenchmarkPatternReplay compares event-by-event replay against
+// pattern-native replay with steady-state fast-forward on compiled
+// (XTRP2) traces of the paper kernels. Loop-heavy kernels (mgrid, grid)
+// spend most of their trace inside mined repeat bodies, so the
+// fast-forward skips the bulk of the simulation; embar is embarrassingly
+// parallel with a tiny loop-free trace, included as the honest lower
+// bound (~1×, nothing to skip). Every pattern-mode iteration asserts the
+// prediction is byte-identical to the event-mode reference, and the
+// fast-forward hit counters are reported per operation.
+func BenchmarkPatternReplay(b *testing.B) {
+	kernels := []struct {
+		name string
+		size benchmarks.Size
+	}{
+		{"mgrid", benchmarks.Size{N: 16, Iters: 240}},
+		{"grid", benchmarks.Size{N: 64, Iters: 324}},
+		{"embar", benchmarks.Size{N: 17}},
+	}
+	cfg := machine.GenericDM().Config
+	for _, k := range kernels {
+		g, err := benchmarks.ByName(k.name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		tr, err := core.Measure(g.Factory(k.size)(8), core.MeasureOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := trace.WriteBinary2(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+		enc := buf.Bytes()
+		nEvents := len(tr.Events)
+		ecfg := cfg
+		ecfg.Replay = sim.ReplayEvent
+		ref, err := core.ExtrapolateEncoded(context.Background(), enc, ecfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		want := ref.Result.TotalTime
+		for _, mode := range []sim.ReplayMode{sim.ReplayEvent, sim.ReplayPattern} {
+			mcfg := cfg
+			mcfg.Replay = mode
+			b.Run(k.name+"/"+mode.String(), func(b *testing.B) {
+				before := sim.ReadReplayCounters()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					pred, err := core.ExtrapolateEncoded(context.Background(), enc, mcfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if pred.Result.TotalTime != want {
+						b.Fatalf("%s/%s prediction %v != event-replay reference %v",
+							k.name, mode, pred.Result.TotalTime, want)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(nEvents)/1e3, "kevents")
+				if mode == sim.ReplayPattern {
+					after := sim.ReadReplayCounters()
+					n := float64(b.N)
+					b.ReportMetric(float64(after.FastForwards-before.FastForwards)/n, "ffwd/op")
+					b.ReportMetric(float64(after.IterationsSkipped-before.IterationsSkipped)/n, "iters-skipped/op")
+					b.ReportMetric(float64(after.Fallbacks-before.Fallbacks)/n, "fallbacks/op")
+				}
+			})
+		}
+	}
 }

@@ -629,6 +629,7 @@ func parseExperimentFlags(args []string) (opts experiments.Options, id, workload
 	storeFlag := fs.String("store", "", "durable artifact store directory: measurements persist there and repeated runs reuse them instead of re-measuring (empty = in-memory only)")
 	formatFlag := fs.String("trace-format", "", "run over an encoded trace cache in this wire format (xtrp1|xtrp2); output is byte-identical to the default in-memory run (empty = in-memory)")
 	modeFlag := fs.String("mode", "", "grid mode: exact (default — simulate every ladder cell) or fitted (simulate sparse anchors, answer the rest from an analytic least-squares fit)")
+	replayFlag := fs.String("replay", "", "XTRP2 replay mode: pattern (default — compiled pattern programs with steady-state fast-forward) or event (flat event-by-event); output is byte-identical either way")
 	workloadFlag := fs.String("workload", "", "sweep a composed workload (JSON pattern spec file) over the modeled machines instead of running a registered experiment")
 	if err = fs.Parse(args); err != nil {
 		return opts, "", "", "", "", "", err
@@ -656,7 +657,13 @@ func parseExperimentFlags(args []string) (opts experiments.Options, id, workload
 	default:
 		return opts, "", "", "", "", "", fmt.Errorf("experiment: -mode must be \"exact\" or \"fitted\", got %q", mode)
 	}
-	return experiments.Options{Quick: *quick, Workers: *workers, BatchSize: *batch, TraceFormat: tf, FitMode: mode}, fs.Arg(0), *workloadFlag, *csv, *svg, *storeFlag, nil
+	var replay sim.ReplayMode
+	if *replayFlag != "" {
+		if replay, err = sim.ParseReplayMode(*replayFlag); err != nil {
+			return opts, "", "", "", "", "", fmt.Errorf("experiment: %w", err)
+		}
+	}
+	return experiments.Options{Quick: *quick, Workers: *workers, BatchSize: *batch, TraceFormat: tf, FitMode: mode, Replay: replay}, fs.Arg(0), *workloadFlag, *csv, *svg, *storeFlag, nil
 }
 
 func cmdExperiment(args []string, w io.Writer) error {
@@ -742,6 +749,7 @@ func runWorkloadSweep(opts experiments.Options, path string, w io.Writer) error 
 		svc = experiments.NewService(opts.Workers, 64)
 	}
 	svc.SetBatchSize(opts.BatchSize)
+	svc.SetReplay(opts.Replay)
 	if opts.Backend != nil {
 		svc.SetBackend(opts.Backend)
 	}

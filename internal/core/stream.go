@@ -60,10 +60,20 @@ func ExtrapolateReader(ctx context.Context, hdr trace.Header, src trace.Reader, 
 // ExtrapolateEncoded is ExtrapolateReader over a binary-encoded
 // measurement in either XTRP format (detected by magic): the trace is
 // decoded incrementally as the pipeline pulls events, so even the
-// decode step stays at chunk-sized memory — and for XTRP2 bytes, loop
-// iterations replay from the compiled pattern table instead of
-// re-parsing records.
+// decode step stays at chunk-sized memory. For XTRP2 bytes under the
+// default pattern replay mode, the compiled pattern table and repeat
+// program become a live cursor the whole pipeline can see, letting the
+// simulator fast-forward steady loop iterations; event replay mode (or
+// a non-XTRP2 input) falls back to the plain record decoder. Both paths
+// produce byte-identical predictions.
 func ExtrapolateEncoded(ctx context.Context, enc []byte, cfg sim.Config) (*Prediction, error) {
+	if cfg.Replay == sim.ReplayPattern && trace.IsXTRP2(enc) {
+		ps, err := trace.NewPatternSource(enc)
+		if err != nil {
+			return nil, err
+		}
+		return ExtrapolateReader(ctx, ps.Header(), ps, cfg)
+	}
 	d, err := trace.NewAnyDecoder(bytes.NewReader(enc))
 	if err != nil {
 		return nil, err

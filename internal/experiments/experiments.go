@@ -16,6 +16,7 @@ import (
 	"extrap/internal/core"
 	"extrap/internal/metrics"
 	"extrap/internal/report"
+	"extrap/internal/sim"
 	"extrap/internal/trace"
 )
 
@@ -61,6 +62,13 @@ type Options struct {
 	// nanoseconds). Fitted output trades exactness on non-anchor cells
 	// for a fraction of the simulation work; anchor cells stay exact.
 	FitMode string
+	// Replay selects how XTRP2-encoded traces replay through the
+	// simulator: sim.ReplayPattern (the zero value — compiled pattern
+	// programs with steady-state fast-forward) or sim.ReplayEvent
+	// (flat event-by-event replay). Output is byte-identical in both
+	// modes; the knob exists for rollback and A/B comparison in CI.
+	// Only meaningful with an encoded TraceFormat of XTRP2.
+	Replay sim.ReplayMode
 }
 
 func (o Options) procs() []int {

@@ -126,6 +126,9 @@ func (r *runner) job(b benchmarks.Benchmark, mode pcxx.SizeMode, cfg sim.Config,
 // runGrid fans the grid across the experiment's worker pool, through
 // the fitted path when the run's FitMode selects it.
 func (r *runner) runGrid(jobs []SweepJob) ([][]metrics.Point, error) {
+	for i := range jobs {
+		jobs[i].Cfg.Replay = r.opts.Replay
+	}
 	if r.opts.FitMode == "fitted" {
 		return runGridFitted(context.Background(), r.cache, r.opts.Workers, jobs)
 	}

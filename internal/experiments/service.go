@@ -25,6 +25,7 @@ type Service struct {
 	cache   *core.TraceCache
 	workers int
 	batch   int
+	replay  sim.ReplayMode
 	bstats  BatchStats
 }
 
@@ -91,6 +92,18 @@ func (s *Service) SetBatchSize(k int) { s.batch = k }
 // BatchSize reports the configured batch width (≤ 1 means per-cell).
 func (s *Service) BatchSize() int { return s.batch }
 
+// SetReplay selects how XTRP2-encoded measurements replay through the
+// simulator: sim.ReplayPattern (the default — compiled pattern programs
+// with steady-state fast-forward) or sim.ReplayEvent (flat event-by-
+// event replay, the rollback/A-B knob). Predictions are byte-identical
+// in both modes; the mode is stamped on every request's simulation
+// config, service-wide, and is not part of any cache key. Set before
+// the Service starts handling requests.
+func (s *Service) SetReplay(m sim.ReplayMode) { s.replay = m }
+
+// Replay reports the service-wide replay mode.
+func (s *Service) Replay() sim.ReplayMode { return s.replay }
+
 // BatchStats reports cumulative batched-sweep counters.
 func (s *Service) BatchStats() BatchSnapshot { return s.bstats.Snapshot() }
 
@@ -105,6 +118,7 @@ func (s *Service) Extrapolate(ctx context.Context, b benchmarks.Benchmark, size 
 	if threads <= 0 {
 		return nil, fmt.Errorf("experiments: invalid thread count %d", threads)
 	}
+	cfg.Replay = s.replay
 	mopts := core.MeasureOptions{SizeMode: mode}
 	key := cacheKey(b.Name(), size, threads, mopts)
 	measure := func() (*trace.Trace, error) {
@@ -145,6 +159,7 @@ func (s *Service) Predict(ctx context.Context, b benchmarks.Benchmark, size benc
 	if threads <= 0 {
 		return nil, fmt.Errorf("experiments: invalid thread count %d", threads)
 	}
+	cfg.Replay = s.replay
 	mopts := core.MeasureOptions{SizeMode: mode}
 	enc, err := s.cache.Encoded(cacheKey(b.Name(), size, threads, mopts), func() (*trace.Trace, error) {
 		return core.MeasureContext(ctx, b.Factory(size)(threads), mopts)
@@ -167,6 +182,12 @@ func (s *Service) PredictBatch(ctx context.Context, b benchmarks.Benchmark, size
 	if threads <= 0 {
 		return nil, fmt.Errorf("experiments: invalid thread count %d", threads)
 	}
+	stamped := make([]sim.Config, len(cfgs))
+	copy(stamped, cfgs)
+	for i := range stamped {
+		stamped[i].Replay = s.replay
+	}
+	cfgs = stamped
 	mopts := core.MeasureOptions{SizeMode: mode}
 	key := cacheKey(b.Name(), size, threads, mopts)
 	measure := func() (*trace.Trace, error) {
@@ -233,7 +254,18 @@ func (s *Service) Sweep(ctx context.Context, job SweepJob) ([]metrics.Point, err
 // jobs one at a time, at any worker count and batch size.
 func (s *Service) SweepGrid(ctx context.Context, jobs []SweepJob) ([][]metrics.Point, error) {
 	bo := batchOptions{size: s.batch, stats: &s.bstats}
-	return runGrid(ctx, s.cache, s.workers, bo, jobs)
+	return runGrid(ctx, s.cache, s.workers, bo, s.stampReplay(jobs))
+}
+
+// stampReplay applies the service-wide replay mode to a copy of the
+// jobs (callers' slices are never mutated).
+func (s *Service) stampReplay(jobs []SweepJob) []SweepJob {
+	out := make([]SweepJob, len(jobs))
+	copy(out, jobs)
+	for i := range out {
+		out[i].Cfg.Replay = s.replay
+	}
+	return out
 }
 
 // SweepGridFitted answers each job's ladder through the analytic fitted
@@ -244,5 +276,5 @@ func (s *Service) SweepGrid(ctx context.Context, jobs []SweepJob) ([][]metrics.P
 // simulated time; fitted cells are approximations. Output is
 // deterministic and byte-identical at any worker count.
 func (s *Service) SweepGridFitted(ctx context.Context, jobs []SweepJob) ([][]metrics.Point, error) {
-	return runGridFitted(ctx, s.cache, s.workers, jobs)
+	return runGridFitted(ctx, s.cache, s.workers, s.stampReplay(jobs))
 }

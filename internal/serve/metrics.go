@@ -7,6 +7,7 @@ import (
 
 	"extrap/internal/compose"
 	"extrap/internal/model"
+	"extrap/internal/sim"
 	"extrap/internal/trace"
 )
 
@@ -34,6 +35,7 @@ type metricsSet struct {
 	clusterVars   *expvar.Map // shard routing/execution counters (set when Role isn't solo)
 	fittedVars    *expvar.Map // fitted-sweep counters (runs, iterations, anchors, fitted cells)
 	composeVars   *expvar.Map // workload-DSL counters (specs parsed, programs synthesized, cache hits)
+	simVars       *expvar.Map // replay fast-forward counters (attempts, fast_forwards, iterations_skipped, fallbacks)
 }
 
 func newMetricsSet() *metricsSet {
@@ -53,6 +55,7 @@ func newMetricsSet() *metricsSet {
 		clusterVars:   new(expvar.Map).Init(),
 		fittedVars:    new(expvar.Map).Init(),
 		composeVars:   new(expvar.Map).Init(),
+		simVars:       new(expvar.Map).Init(),
 	}
 }
 
@@ -62,6 +65,13 @@ func setInt(m *expvar.Map, key string, v int64) {
 	i := new(expvar.Int)
 	i.Set(v)
 	m.Set(key, i)
+}
+
+func boolInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // vars assembles the set as one expvar.Map for rendering.
@@ -118,6 +128,14 @@ func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
 	setInt(cmv, "nodes_lowered", cc.NodesLowered)
 	setInt(cmv, "preset_hits", cc.PresetHits)
 	root.Set("compose", cmv)
+	rc := sim.ReadReplayCounters()
+	rv := s.met.simVars
+	setInt(rv, "replay_mode_event", boolInt(s.svc.Replay() == sim.ReplayEvent))
+	setInt(rv, "ff_attempts", int64(rc.Attempts))
+	setInt(rv, "fast_forwards", int64(rc.FastForwards))
+	setInt(rv, "iterations_skipped", int64(rc.IterationsSkipped))
+	setInt(rv, "fallbacks", int64(rc.Fallbacks))
+	root.Set("sim", rv)
 	if s.store != nil {
 		st := s.store.Stats()
 		sv := s.met.storeVars

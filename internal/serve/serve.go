@@ -43,6 +43,7 @@ import (
 	"extrap/internal/metrics"
 	"extrap/internal/model"
 	"extrap/internal/pcxx"
+	"extrap/internal/sim"
 	"extrap/internal/store"
 	"extrap/internal/trace"
 	"extrap/internal/vtime"
@@ -104,6 +105,13 @@ type Config struct {
 	// loading after a format switch — the cache falls back to the XTRP1
 	// key when the current format's artifact is absent.
 	TraceFormat trace.Format
+	// Replay selects how XTRP2-encoded measurements replay through the
+	// simulator: sim.ReplayPattern (the zero default — compiled pattern
+	// programs with steady-state fast-forward) or sim.ReplayEvent (flat
+	// event-by-event replay). Responses are byte-identical in both
+	// modes; the knob exists for rollback and A/B comparison.
+	// Fast-forward counters are exported under "sim" in /debug/vars.
+	Replay sim.ReplayMode
 	// StoreDir, when non-empty, roots the durable artifact store:
 	// measurement traces and job cell results persist there (content-
 	// addressed, checksummed), the measurement cache reads through to it,
@@ -217,6 +225,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.svc.SetBatchSize(cfg.BatchSize)
 	s.svc.SetTraceFormat(cfg.TraceFormat)
+	s.svc.SetReplay(cfg.Replay)
 	if cfg.StoreDir != "" {
 		st, err := store.Open(cfg.StoreDir, cfg.StoreBytes)
 		if err != nil {

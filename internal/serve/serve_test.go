@@ -14,6 +14,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"extrap/internal/sim"
 )
 
 // newTestServer returns a Server with quiet logging and test-friendly
@@ -295,6 +297,51 @@ func TestDebugVarsExportsCacheHits(t *testing.T) {
 	}
 	if len(vars.Memstats) == 0 {
 		t.Error("expvar globals (memstats) missing from /debug/vars")
+	}
+}
+
+// TestDebugVarsSimReplaySubmap: /debug/vars exposes the pattern-replay
+// kernel counters under extrap_serve.sim, and replay_mode_event tracks
+// the configured replay mode.
+func TestDebugVarsSimReplaySubmap(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		mode      sim.ReplayMode
+		wantEvent int64
+	}{
+		{"pattern", sim.ReplayPattern, 0},
+		{"event", sim.ReplayEvent, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, ts := newTestServer(t, Config{Replay: tc.mode})
+			if status, b := post(t, ts.URL+"/v1/extrapolate", extrapBody("grid", 4, "cm5")); status != http.StatusOK {
+				t.Fatalf("extrapolate: status %d: %s", status, b)
+			}
+			status, varsBody := get(t, ts.URL+"/debug/vars")
+			if status != http.StatusOK {
+				t.Fatalf("/debug/vars status %d", status)
+			}
+			var vars struct {
+				ExtrapServe struct {
+					Sim map[string]int64 `json:"sim"`
+				} `json:"extrap_serve"`
+			}
+			if err := json.Unmarshal([]byte(varsBody), &vars); err != nil {
+				t.Fatalf("/debug/vars is not JSON: %v\n%s", err, varsBody)
+			}
+			sm := vars.ExtrapServe.Sim
+			if sm == nil {
+				t.Fatalf("sim submap missing from /debug/vars\n%.400s", varsBody)
+			}
+			for _, key := range []string{"ff_attempts", "fast_forwards", "iterations_skipped", "fallbacks"} {
+				if _, ok := sm[key]; !ok {
+					t.Errorf("sim submap missing %q\n%.400s", key, varsBody)
+				}
+			}
+			if got := sm["replay_mode_event"]; got != tc.wantEvent {
+				t.Errorf("replay_mode_event = %d, want %d", got, tc.wantEvent)
+			}
+		})
 	}
 }
 

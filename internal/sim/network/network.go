@@ -165,3 +165,9 @@ func (n *Network) Deliver(rawArrival vtime.Time, dst int) vtime.Time {
 
 // InFlight reports the current in-network message population.
 func (n *Network) InFlight() int { return n.inFlight }
+
+// RecvFree exposes the per-processor NI receive-queue free times for
+// the simulator's steady-state fast-forward, which fingerprints them
+// and shifts the still-live ones when skipping iterations. The slice is
+// the live state, not a copy.
+func (n *Network) RecvFree() []vtime.Time { return n.recvFreeAt }

@@ -306,7 +306,7 @@ const ctxCheckMask = 1<<13 - 1
 // per-request simulation time.
 func SimulateContext(ctx context.Context, pt *translate.ParallelTrace, cfg Config) (*Result, error) {
 	return simulate(ctx, cfg, pt.NumThreads, pt.Phases, pt.Barriers, pt.Events(),
-		func(t *thr, i int) { t.evs = pt.Threads[i] }, nil)
+		func(t *thr, i int) { t.evs = pt.Threads[i] }, nil, nil)
 }
 
 // SimulateArena is Simulate drawing its dense state from a — reusing the
@@ -320,7 +320,7 @@ func SimulateArena(a *Arena, pt *translate.ParallelTrace, cfg Config) (*Result, 
 // SimulateArenaContext is SimulateArena with a cancellation point.
 func SimulateArenaContext(ctx context.Context, a *Arena, pt *translate.ParallelTrace, cfg Config) (*Result, error) {
 	return simulate(ctx, cfg, pt.NumThreads, pt.Phases, pt.Barriers, pt.Events(),
-		func(t *thr, i int) { t.evs = pt.Threads[i] }, a)
+		func(t *thr, i int) { t.evs = pt.Threads[i] }, a, nil)
 }
 
 // SimulateBatch replays one translated trace under K machine
@@ -429,17 +429,23 @@ func SimulateStream(src Source, cfg Config) (*Result, error) {
 }
 
 // SimulateStreamContext is SimulateStream with a cancellation point.
+// When the source is a translate stream fed by a compiled (XTRP2)
+// pattern cursor and cfg.Replay is ReplayPattern, the engine
+// fast-forwards provably steady pattern iterations (see ffwd.go);
+// results stay byte-identical to event-by-event replay.
 func SimulateStreamContext(ctx context.Context, src Source, cfg Config) (*Result, error) {
 	return simulate(ctx, cfg, src.NumThreads(), src.Phases(), 0, 0,
-		func(t *thr, i int) { t.src = src.Thread(i) }, nil)
+		func(t *thr, i int) { t.src = src.Thread(i) }, nil, src)
 }
 
 // simulate is the engine core shared by the slice and streaming entry
 // points: bind attaches thread i's event cursor (either mode) to its
 // state record. barriersHint/eventsHint pre-size internal tables and may
 // be zero when unknown (streaming). A non-nil arena supplies recycled
-// dense state; nil allocates fresh.
-func simulate(ctx context.Context, cfg Config, n int, phases []string, barriersHint, eventsHint int, bind func(t *thr, i int), arena *Arena) (*Result, error) {
+// dense state; nil allocates fresh. A non-nil src (streaming mode only)
+// lets the engine engage pattern fast-forward when the source exposes
+// its compiled-trace cursor.
+func simulate(ctx context.Context, cfg Config, n int, phases []string, barriersHint, eventsHint int, bind func(t *thr, i int), arena *Arena, src Source) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -538,9 +544,17 @@ func simulate(ctx context.Context, cfg Config, n int, phases []string, barriersH
 		e.requestCPU(t, 0)
 	}
 
+	ff := newFFState(&cfg, src)
+
 	const maxEvents = 1 << 28 // runaway-guard far above any real workload
 	steps := 0
 	for {
+		if ff != nil {
+			var ferr error
+			if steps, ferr = ff.observe(ctx, e, steps); ferr != nil {
+				return nil, ferr
+			}
+		}
 		var ev event
 		if e.contOK {
 			ev = e.cont

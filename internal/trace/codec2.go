@@ -63,8 +63,13 @@ var binary2Magic = [5]byte{'X', 'T', 'R', 'P', '2'}
 const (
 	// MaxPatterns bounds the pattern-table entry count.
 	MaxPatterns = 1 << 16
-	// MaxPatternRows bounds the rows of a single pattern body.
-	MaxPatternRows = 1 << 12
+	// MaxPatternRows bounds the rows of a single pattern body. Real loop
+	// periods can be large: a barrier loop's merged row period is
+	// threads × per-thread rows, multiplied again when the scheduler
+	// rotates thread order across iterations (16 threads × 17 rows × a
+	// 16-round rotation ≈ 4.4k rows), so the cap leaves headroom above
+	// that while still bounding a hostile stream's allocation.
+	MaxPatternRows = 1 << 14
 	// MaxPatternTableRows bounds the cumulative rows across all pattern
 	// bodies. Rows are parsed incrementally from actual input bytes (≥ 6
 	// bytes each on the wire), so reaching the cap requires a
@@ -326,6 +331,11 @@ const (
 	minRepeatSavings = 8
 )
 
+// minerLadder is the descending savings bar of the multi-scale mining
+// passes (see minePatterns): pass k commits only runs eliminating at
+// least minerLadder[k] rows, and later passes re-mine the literal gaps.
+var minerLadder = [...]int{1 << 14, 1 << 11, 1 << 8, 1 << 5, minRepeatSavings}
+
 // program ops produced by the miner: either a literal half-open row
 // range [start, end) or count replays of pattern id.
 type progOp struct {
@@ -342,42 +352,94 @@ type progOp struct {
 // hash seen p positions ago suggests period p; the candidate block is
 // then verified (and its repeat run counted) by direct row comparison,
 // so hash collisions cost a failed verify, never a wrong encoding.
+//
+// Mining is multi-scale. A single greedy pass commits the first (and so
+// shortest-period) run it can verify, and once rows are consumed no
+// overlapping candidate is ever accepted — so a loop whose body contains
+// a small internal repetition (eight threads entering the same barrier,
+// say) would be shredded into per-iteration fragments and the loop
+// itself, the run worth hundreds of times more, would never be found.
+// The ladder fixes that scale by scale: the first pass skips (without
+// consuming) any run saving fewer than minerLadder[0] rows, so only
+// whole-loop periods can claim rows; each later pass re-mines the
+// leftover literal gaps with a lower bar, down to the cheap
+// minRepeatSavings floor that recovers exactly the small runs a single
+// pass used to find. A run can still shadow a larger one within a rung's
+// ~8× band, but never across bands. Long runs also matter beyond size:
+// they are what the simulator's steady-state fast-forward can skip.
 func minePatterns(rows []row) ([][]row, []progOp) {
-	var (
-		patterns  [][]row
-		tableRows int
-		ops       []progOp
-		// byHash dedups pattern bodies (values are candidate ids to
-		// compare against, so collisions stay correct).
-		byHash = make(map[uint64][]uint32)
-	)
+	m := miner{byHash: make(map[uint64][]uint32)}
+	ops := []progOp{{literal: true, start: 0, end: len(rows)}}
+	for _, minSavings := range minerLadder {
+		var next []progOp
+		for _, op := range ops {
+			if !op.literal || op.end-op.start <= minSavings {
+				next = append(next, op)
+				continue
+			}
+			next = append(next, m.scan(rows, op.start, op.end, minSavings)...)
+		}
+		ops = next
+	}
+	// Drop the empty sentinel a zero-row trace leaves behind.
+	out := ops[:0]
+	for _, op := range ops {
+		if op.literal && op.start == op.end {
+			continue
+		}
+		out = append(out, op)
+	}
+	return m.patterns, out
+}
+
+// miner carries the pattern table shared by both mining passes.
+type miner struct {
+	patterns  [][]row
+	tableRows int
+	// byHash dedups pattern bodies (values are candidate ids to
+	// compare against, so collisions stay correct).
+	byHash map[uint64][]uint32
+}
+
+func (m *miner) intern(body []row) (uint32, bool) {
+	h := hashRows(body)
+	for _, id := range m.byHash[h] {
+		if rowsEqual(m.patterns[id], body) {
+			return id, true
+		}
+	}
+	if len(m.patterns) >= MaxPatterns || m.tableRows+len(body) > MaxPatternTableRows {
+		return 0, false
+	}
+	id := uint32(len(m.patterns))
+	m.patterns = append(m.patterns, body)
+	m.tableRows += len(body)
+	m.byHash[h] = append(m.byHash[h], id)
+	return id, true
+}
+
+// scan mines rows[lo:hi) for periodic runs saving at least minSavings
+// rows each, returning ops (repeats and literal gaps) covering the range
+// exactly.
+func (m *miner) scan(rows []row, lo, hi, minSavings int) []progOp {
+	var ops []progOp
 	flushLiteral := func(start, end int) {
 		if start < end {
 			ops = append(ops, progOp{literal: true, start: start, end: end})
 		}
 	}
-	intern := func(body []row) (uint32, bool) {
-		h := hashRows(body)
-		for _, id := range byHash[h] {
-			if rowsEqual(patterns[id], body) {
-				return id, true
-			}
-		}
-		if len(patterns) >= MaxPatterns || tableRows+len(body) > MaxPatternTableRows {
-			return 0, false
-		}
-		id := uint32(len(patterns))
-		patterns = append(patterns, body)
-		tableRows += len(body)
-		byHash[h] = append(byHash[h], id)
-		return id, true
-	}
 
-	n := len(rows)
-	// seen maps a window hash to the index just past the most recent
-	// occurrence of that window.
-	seen := make(map[uint64]int, n/4+1)
-	lit := 0 // start of the pending literal run
+	// seen maps a window hash to the indices just past its first and
+	// most recent occurrences. The nearest occurrence proposes the
+	// shortest candidate period, but inside a loop body that itself
+	// contains small repetitions every window also matches at the small
+	// distance, and the loop period would never be proposed at all — the
+	// first occurrence breaks that masking: the first time a
+	// once-per-iteration window reoccurs, its distance to the first
+	// occurrence is exactly one whole loop period.
+	type occ struct{ first, last int }
+	seen := make(map[uint64]occ, (hi-lo)/4+1)
+	lit := lo // start of the pending literal run
 	var wh uint64
 	wlen := 0 // rows currently in the rolling window
 	const whBase = 0x100000001b3
@@ -387,7 +449,7 @@ func minePatterns(rows []row) ([][]row, []progOp) {
 		whPow *= whBase
 	}
 
-	for i := 0; i < n; i++ {
+	for i := lo; i < hi; i++ {
 		rh := hashRow(&rows[i])
 		if wlen == minerWindow {
 			wh -= hashRow(&rows[i-minerWindow]) * whPow
@@ -399,48 +461,55 @@ func minePatterns(rows []row) ([][]row, []progOp) {
 			continue
 		}
 		end := i + 1 // window covers rows[end-minerWindow : end]
-		j, ok := seen[wh]
-		seen[wh] = end
-		if !ok || j >= end {
-			continue
-		}
-		p := end - j
-		if p > MaxPatternRows || end-p < lit {
-			continue
-		}
-		// Candidate period p. Anchor the body at end-p and extend it
-		// backward while the periodicity holds, so the first iteration
-		// of a loop is captured instead of left literal.
-		start := end - p
-		for start > lit && rows[start-1] == rows[start-1+p] {
-			start--
-		}
-		body := rows[start : start+p]
-		count := uint64(1)
-		for next := start + int(count)*p; next+p <= n && rowsEqual(rows[next:next+p], body); next += p {
-			count++
-		}
-		if count < 2 || int(count-1)*p < minRepeatSavings {
-			continue
-		}
-		id, ok := intern(body)
+		o, ok := seen[wh]
 		if !ok {
-			// Table full: leave the run literal and keep scanning.
+			seen[wh] = occ{first: end, last: end}
 			continue
 		}
-		flushLiteral(lit, start)
-		ops = append(ops, progOp{id: id, count: count})
-		consumed := start + int(count)*p
-		lit = consumed
-		// Restart the window past the consumed run; stale map entries
-		// are harmless (candidates are verified by comparison).
-		if consumed > i+1 {
-			i = consumed - 1
-			wh, wlen = 0, 0
+		seen[wh] = occ{first: o.first, last: end}
+		for _, j := range [2]int{o.last, o.first} {
+			if j >= end {
+				continue
+			}
+			p := end - j
+			if p > MaxPatternRows || end-p < lit {
+				continue
+			}
+			// Candidate period p. Anchor the body at end-p and extend it
+			// backward while the periodicity holds, so the first iteration
+			// of a loop is captured instead of left literal.
+			start := end - p
+			for start > lit && rows[start-1] == rows[start-1+p] {
+				start--
+			}
+			body := rows[start : start+p]
+			count := uint64(1)
+			for next := start + int(count)*p; next+p <= hi && rowsEqual(rows[next:next+p], body); next += p {
+				count++
+			}
+			if count < 2 || int(count-1)*p < minSavings {
+				continue
+			}
+			id, ok := m.intern(body)
+			if !ok {
+				// Table full: leave the run literal and keep scanning.
+				continue
+			}
+			flushLiteral(lit, start)
+			ops = append(ops, progOp{id: id, count: count})
+			consumed := start + int(count)*p
+			lit = consumed
+			// Restart the window past the consumed run; stale map entries
+			// are harmless (candidates are verified by comparison).
+			if consumed > i+1 {
+				i = consumed - 1
+				wh, wlen = 0, 0
+			}
+			break
 		}
 	}
-	flushLiteral(lit, n)
-	return patterns, ops
+	flushLiteral(lit, hi)
+	return ops
 }
 
 // hashRow mixes one row into a single word (FNV-style multiply/xor).
@@ -712,8 +781,13 @@ func (d *Decoder2) Header() Header { return d.hdr }
 func (d *Decoder2) Declared() uint64 { return d.declare }
 
 // readRow parses one wire row, validating the kind byte.
-func (d *Decoder2) readRow() (row, error) {
-	kind, err := d.br.ReadByte()
+func (d *Decoder2) readRow() (row, error) { return readWireRow(d.br) }
+
+// readWireRow parses one wire row (kind byte + five zigzag uvarints),
+// validating the kind byte. Shared by the streaming decoder and the
+// eager compiler in pattern.go.
+func readWireRow(br *bufio.Reader) (row, error) {
+	kind, err := br.ReadByte()
 	if err != nil {
 		return row{}, err
 	}
@@ -722,7 +796,7 @@ func (d *Decoder2) readRow() (row, error) {
 	}
 	r := row{kind: Kind(kind)}
 	for _, p := range [...]*int64{&r.dTime, &r.dThread, &r.dA0, &r.dA1, &r.dA2} {
-		u, err := binary.ReadUvarint(d.br)
+		u, err := binary.ReadUvarint(br)
 		if err != nil {
 			return row{}, err
 		}

@@ -1,0 +1,530 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Pattern-native replay: the XTRP2 pattern table and replay program as a
+// first-class IR instead of a transient decoder detail.
+//
+// Decoder2 interprets the compiled program one event at a time and the
+// structure is gone by the time translate/sim see the stream. A
+// CompiledTrace keeps it: the pattern table, the per-body delta sums,
+// and the op program are parsed once and survive to the simulation
+// layer, where a PatternSource cursor replays them. The cursor produces
+// the exact event stream Decoder2 produces (same validation, same
+// telemetry), but additionally supports O(1) iteration skipping — the
+// delta state machine is linear, so advancing k whole body iterations
+// is k × (per-body delta sums), whatever mid-body position the cursor
+// is at (a full cycle from any rotation sums the same rows).
+//
+// The ReplayFingerprint machinery at the bottom is the safety net the
+// simulator's steady-state fast-forward is built on: every layer of the
+// pipeline appends its live state as (class, value) slots, and two
+// fingerprints taken m iterations apart must agree exactly on
+// structural slots and advance uniformly per timescale on time-like
+// slots before any skipping happens.
+
+// CompiledTrace is an eagerly parsed XTRP2 stream: header, pattern
+// table, per-pattern delta sums, and the replay program. It is
+// immutable after CompileBinary and safe to share across any number of
+// concurrently replaying PatternSource cursors.
+type CompiledTrace struct {
+	hdr      Header
+	declare  uint64
+	patterns [][]row
+	sums     []bodySums
+	prog     []compiledOp
+}
+
+// compiledOp is one program op with literal rows materialized, so
+// replay never re-parses wire bytes.
+type compiledOp struct {
+	rows  []row // literal run (nil for a repeat op)
+	id    uint32
+	count uint64
+}
+
+// bodySums is the per-iteration advance a pattern body applies to the
+// delta state machine: summed over the body's rows, per kind/arg for
+// the arg contexts. Rotation-invariant, so it is also the advance of
+// one full cycle starting mid-body.
+type bodySums struct {
+	dTime, dThread int64
+	dArgs          [kindCount][3]int64
+}
+
+// IsXTRP2 reports whether enc begins with the XTRP2 magic.
+func IsXTRP2(enc []byte) bool { return bytes.HasPrefix(enc, binary2Magic[:]) }
+
+// CompileBinary parses a whole XTRP2 stream (magic included) into a
+// CompiledTrace. Validation matches Decoder2: the same hardening caps,
+// the same op bounds against the declared event count — the difference
+// is only when errors surface (compile time instead of first Next).
+// Trailing bytes past the program are ignored, as Decoder2 never reads
+// them.
+func CompileBinary(r io.Reader) (*CompiledTrace, error) {
+	br := bufio.NewReader(r)
+	var magic [5]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, err
+	}
+	if magic != binary2Magic {
+		return nil, ErrBadMagic
+	}
+	// The header and pattern table are bit-identical to the streaming
+	// decoder's; reuse its parser and take ownership of the table.
+	d, err := newDecoder2AfterMagic(br)
+	if err != nil {
+		return nil, err
+	}
+	ct := &CompiledTrace{hdr: d.hdr, declare: d.declare, patterns: d.patterns}
+	ct.sums = make([]bodySums, len(ct.patterns))
+	for i, body := range ct.patterns {
+		s := &ct.sums[i]
+		for j := range body {
+			rw := &body[j]
+			s.dTime += rw.dTime
+			s.dThread += rw.dThread
+			s.dArgs[rw.kind][0] += rw.dA0
+			s.dArgs[rw.kind][1] += rw.dA1
+			s.dArgs[rw.kind][2] += rw.dA2
+		}
+	}
+
+	produced := uint64(0)
+	for produced < ct.declare {
+		opc, err := br.ReadByte()
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, fmt.Errorf("trace: event %d: %w", produced, err)
+		}
+		switch opc {
+		case opLiteral:
+			n, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: event %d: literal run: %w", produced, eofErr(err))
+			}
+			if n == 0 {
+				return nil, fmt.Errorf("trace: event %d: empty literal run", produced)
+			}
+			if n > ct.declare-produced {
+				return nil, fmt.Errorf("trace: event %d: literal run of %d exceeds declared %d events", produced, n, ct.declare)
+			}
+			// Rows come from bytes actually read (≥ 6 each on the wire),
+			// so append regrowth — never a forged count — drives the
+			// allocation, same discipline as the pattern-table parser.
+			prealloc := n
+			if prealloc > 256 {
+				prealloc = 256
+			}
+			rows := make([]row, 0, prealloc)
+			for j := uint64(0); j < n; j++ {
+				rw, err := readWireRow(br)
+				if err != nil {
+					return nil, fmt.Errorf("trace: event %d: %w", produced+j, eofErr(err))
+				}
+				rows = append(rows, rw)
+			}
+			ct.prog = append(ct.prog, compiledOp{rows: rows})
+			produced += n
+		case opRepeat:
+			id, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: event %d: repeat op: %w", produced, eofErr(err))
+			}
+			if id >= uint64(len(ct.patterns)) {
+				return nil, fmt.Errorf("trace: event %d: repeat references pattern %d of %d", produced, id, len(ct.patterns))
+			}
+			count, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("trace: event %d: repeat op: %w", produced, eofErr(err))
+			}
+			body := ct.patterns[id]
+			if count == 0 {
+				return nil, fmt.Errorf("trace: event %d: repeat count 0", produced)
+			}
+			if count > MaxEvents || count*uint64(len(body)) > ct.declare-produced {
+				return nil, fmt.Errorf("trace: event %d: repeat of %d×%d rows exceeds declared %d events", produced, count, len(body), ct.declare)
+			}
+			ct.prog = append(ct.prog, compiledOp{id: uint32(id), count: count})
+			produced += count * uint64(len(body))
+		default:
+			return nil, fmt.Errorf("trace: event %d: unknown opcode %#x", produced, opc)
+		}
+	}
+	return ct, nil
+}
+
+// Header returns the trace metadata.
+func (ct *CompiledTrace) Header() Header { return ct.hdr }
+
+// Events returns the declared event count.
+func (ct *CompiledTrace) Events() uint64 { return ct.declare }
+
+// Patterns returns the pattern-table entry count.
+func (ct *CompiledTrace) Patterns() int { return len(ct.patterns) }
+
+// Ops returns the replay-program op count.
+func (ct *CompiledTrace) Ops() int { return len(ct.prog) }
+
+// Source returns a fresh replay cursor over the compiled trace.
+func (ct *CompiledTrace) Source() *PatternSource {
+	return &PatternSource{ct: ct}
+}
+
+// PatternSource replays a CompiledTrace as a validated event stream. It
+// implements StreamDecoder and produces byte-for-byte the events (and
+// process-wide codec telemetry) Decoder2 produces from the same bytes,
+// while exposing the loop structure — the active repeat op, completed
+// iteration count, and O(1) SkipIterations — to the simulator's
+// steady-state fast-forward.
+type PatternSource struct {
+	ct       *CompiledTrace
+	st       deltaState
+	produced uint64
+	opIdx    int
+
+	lit    []row // active literal run
+	litPos int
+
+	body    []row // active repeat body
+	bodyID  uint32
+	bodyPos int
+	repLeft uint64 // replays still owed, including the current one
+
+	iters    uint64 // completed body iterations across all repeat ops
+	replayed uint64
+	literal  uint64
+	flushed  bool
+	err      error
+}
+
+// NewPatternSource compiles enc (XTRP2 bytes) and returns a replay
+// cursor over it.
+func NewPatternSource(enc []byte) (*PatternSource, error) {
+	ct, err := CompileBinary(bytes.NewReader(enc))
+	if err != nil {
+		return nil, err
+	}
+	return ct.Source(), nil
+}
+
+// Header returns the decoded trace metadata.
+func (c *PatternSource) Header() Header { return c.ct.hdr }
+
+// Declared returns the event count the header claims.
+func (c *PatternSource) Declared() uint64 { return c.ct.declare }
+
+// Next returns the next event, io.EOF after the declared count, or a
+// validation error. The error is sticky.
+func (c *PatternSource) Next() (Event, error) {
+	if c.err != nil {
+		return Event{}, c.err
+	}
+	var r *row
+	switch {
+	case c.body != nil:
+		r = &c.body[c.bodyPos]
+		if c.bodyPos++; c.bodyPos == len(c.body) {
+			c.bodyPos = 0
+			c.iters++
+			if c.repLeft--; c.repLeft == 0 {
+				c.body = nil
+				c.opIdx++
+			}
+		}
+		c.replayed++
+	case c.lit != nil:
+		r = &c.lit[c.litPos]
+		if c.litPos++; c.litPos == len(c.lit) {
+			c.lit, c.litPos = nil, 0
+			c.opIdx++
+		}
+		c.literal++
+	default:
+		if c.produced == c.ct.declare {
+			c.err = io.EOF
+			c.flushCounters()
+			return Event{}, c.err
+		}
+		op := &c.ct.prog[c.opIdx]
+		if op.rows != nil {
+			c.lit, c.litPos = op.rows, 0
+		} else {
+			c.body, c.bodyID, c.bodyPos, c.repLeft = c.ct.patterns[op.id], op.id, 0, op.count
+		}
+		return c.Next()
+	}
+	e := c.st.apply(r)
+	if e.Thread < 0 || int(e.Thread) >= c.ct.hdr.NumThreads {
+		c.err = fmt.Errorf("trace: event %d thread %d out of range [0,%d)", c.produced, e.Thread, c.ct.hdr.NumThreads)
+		return Event{}, c.err
+	}
+	c.produced++
+	return e, nil
+}
+
+// flushCounters publishes this cursor's replay/literal split to the
+// process-wide codec telemetry, exactly once (same contract as
+// Decoder2, so replay-mode and event-mode runs report identical
+// compression counters).
+func (c *PatternSource) flushCounters() {
+	if c.flushed {
+		return
+	}
+	c.flushed = true
+	compReplayEvents.Add(c.replayed)
+	compLiteralEvents.Add(c.literal)
+}
+
+// IterationsCompleted counts completed repeat-body iterations across
+// the whole replay — the fast-forward orchestrator's progress clock.
+func (c *PatternSource) IterationsCompleted() uint64 { return c.iters }
+
+// RepeatState reports the active repeat op: its program index, body
+// length, and iterations still owed (including the current one). ok is
+// false outside a repeat op.
+func (c *PatternSource) RepeatState() (opIdx, bodyLen int, repLeft uint64, ok bool) {
+	if c.body == nil {
+		return 0, 0, 0, false
+	}
+	return c.opIdx, len(c.body), c.repLeft, true
+}
+
+// SkipIterations advances the replay k whole body iterations in O(1):
+// the delta state machine is linear, so k iterations from any mid-body
+// position add exactly k × (per-body delta sums). The skipped events
+// are accounted to the replay telemetry as if produced, keeping
+// compression counters identical to event-by-event replay. At least
+// one iteration of the active repeat must remain after the skip.
+func (c *PatternSource) SkipIterations(k uint64) error {
+	if c.body == nil || k == 0 || k >= c.repLeft {
+		return fmt.Errorf("trace: cannot skip %d iterations (repeat has %d left)", k, c.repLeft)
+	}
+	s := &c.ct.sums[c.bodyID]
+	kk := int64(k)
+	c.st.prevTime += kk * s.dTime
+	c.st.prevThread += kk * s.dThread
+	for kind := range c.st.args {
+		for a := range c.st.args[kind] {
+			c.st.args[kind][a] += kk * s.dArgs[kind][a]
+		}
+	}
+	c.repLeft -= k
+	n := k * uint64(len(c.body))
+	c.produced += n
+	c.replayed += n
+	c.iters += k
+	return nil
+}
+
+// AppendFingerprint pushes the decoder state's live slots: program
+// position and delta-machine registers. prevTime advances on the
+// measured (original) timescale; the per-kind barrier-id arg contexts
+// advance on the barrier-id scale; everything else must be exactly
+// periodic.
+func (c *PatternSource) AppendFingerprint(fp *ReplayFingerprint) {
+	fp.Push(FPExact, int64(c.opIdx))
+	fp.Push(FPExact, int64(c.bodyPos))
+	fp.Push(FPExact, c.st.prevThread)
+	fp.Push(FPOrig, c.st.prevTime)
+	for k := range c.st.args {
+		barArg0 := Kind(k) == KindBarrierEntry || Kind(k) == KindBarrierExit
+		for a := range c.st.args[k] {
+			cls := FPExact
+			if a == 0 && barArg0 {
+				cls = FPBarID
+			}
+			fp.Push(cls, c.st.args[k][a])
+		}
+	}
+}
+
+// --- replay fingerprints ------------------------------------------------------
+
+// Fingerprint slot classes. A slot's class says how its value may
+// evolve between two snapshots taken a fixed number of pattern
+// iterations apart while the system is in steady state:
+//
+//   - FPExact: structural state — must not change at all (thread ids,
+//     kinds, queue shapes, slab indices, flags, dead-state sentinels).
+//   - FPSim / FPTrans / FPOrig / FPBarID: time-like state on one of the
+//     pipeline's four timescales (simulated clock, translated clock,
+//     measured clock, dense barrier ids). All slots of one class must
+//     advance by one shared non-negative stride — the uniform shift the
+//     engine's dynamics are invariant under.
+//   - FPBarT / FPBarS: time fields inside the sliding window of recent
+//     barrier records (translated-scale in translate, simulated-scale
+//     in the kernel). They get their own learned strides because the
+//     window slides in a steady barrier loop (slot w names barrier
+//     id+Δ at the next snapshot, so values advance with the clock) but
+//     freezes in a barrier-free loop (same ids, values frozen, stride
+//     0) — either is a valid steady state, a mix is not.
+//   - FPAccum: write-only accumulators (statistics, counters) that
+//     never feed back into behavior. Any per-slot stride is accepted
+//     and extrapolated linearly on skip.
+const (
+	FPExact uint8 = iota
+	FPSim
+	FPTrans
+	FPOrig
+	FPBarID
+	FPBarT
+	FPBarS
+	FPAccum
+
+	fpClassCount
+)
+
+// ReplayFingerprint is one snapshot of the pipeline's live state as
+// parallel (class, value) slots, assembled in a deterministic traversal
+// order by each layer's AppendFingerprint.
+type ReplayFingerprint struct {
+	cls  []uint8
+	vals []int64
+	max  [fpClassCount]int64
+}
+
+// Reset clears the fingerprint for reuse, keeping capacity.
+func (f *ReplayFingerprint) Reset() {
+	f.cls = f.cls[:0]
+	f.vals = f.vals[:0]
+	f.max = [fpClassCount]int64{}
+}
+
+// Push appends one slot.
+func (f *ReplayFingerprint) Push(cls uint8, v int64) {
+	f.cls = append(f.cls, cls)
+	f.vals = append(f.vals, v)
+	if v > f.max[cls] {
+		f.max[cls] = v
+	}
+}
+
+// PushBool appends a structural flag slot.
+func (f *ReplayFingerprint) PushBool(v bool) {
+	b := int64(0)
+	if v {
+		b = 1
+	}
+	f.Push(FPExact, b)
+}
+
+// Len returns the slot count.
+func (f *ReplayFingerprint) Len() int { return len(f.vals) }
+
+// ReplayDeltas is the per-chunk advance learned from two matching
+// fingerprints: one stride per timescale plus the per-slot strides of
+// the accumulator slots, in traversal order.
+type ReplayDeltas struct {
+	Sim, Trans, Orig, Bar int64
+	BarT, BarS            int64
+	accum                 []int64
+	pos                   int
+}
+
+// ResetAccum rewinds the accumulator-stride cursor; each shift
+// traversal consumes strides in the same order the fingerprint
+// traversal pushed them.
+func (d *ReplayDeltas) ResetAccum() { d.pos = 0 }
+
+// NextAccum pops the next accumulator stride.
+func (d *ReplayDeltas) NextAccum() int64 {
+	v := d.accum[d.pos]
+	d.pos++
+	return v
+}
+
+// DiffFingerprints compares two snapshots taken a fixed iteration
+// stride apart and, when the state trajectory is a pure per-timescale
+// time shift, fills d with the learned strides and reports true. Any
+// structural change, class disagreement, negative or non-uniform
+// timescale stride reports false — the caller must fall back to
+// event-by-event replay.
+func DiffFingerprints(prev, curr *ReplayFingerprint, d *ReplayDeltas) bool {
+	if len(prev.vals) != len(curr.vals) {
+		return false
+	}
+	var have [fpClassCount]bool
+	d.Sim, d.Trans, d.Orig, d.Bar = 0, 0, 0, 0
+	d.BarT, d.BarS = 0, 0
+	d.accum = d.accum[:0]
+	d.pos = 0
+	for i, pv := range prev.vals {
+		cls := prev.cls[i]
+		if cls != curr.cls[i] {
+			return false
+		}
+		delta := curr.vals[i] - pv
+		switch cls {
+		case FPExact:
+			if delta != 0 {
+				return false
+			}
+		case FPAccum:
+			d.accum = append(d.accum, delta)
+		default:
+			if delta < 0 {
+				return false
+			}
+			p := d.class(cls)
+			if !have[cls] {
+				*p, have[cls] = delta, true
+			} else if *p != delta {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (d *ReplayDeltas) class(cls uint8) *int64 {
+	switch cls {
+	case FPSim:
+		return &d.Sim
+	case FPTrans:
+		return &d.Trans
+	case FPOrig:
+		return &d.Orig
+	case FPBarID:
+		return &d.Bar
+	case FPBarT:
+		return &d.BarT
+	case FPBarS:
+		return &d.BarS
+	}
+	panic("trace: not a timescale class")
+}
+
+// MaxShiftChunks bounds how many chunks may be skipped before any
+// fingerprinted time-like slot would cross 2^62 — far past any real
+// virtual time, and low enough that the shift arithmetic (and every
+// comparison downstream of it) can never wrap int64. curr must be the
+// later of the two fingerprints d was derived from.
+func MaxShiftChunks(curr *ReplayFingerprint, d *ReplayDeltas) uint64 {
+	const ceiling = int64(1) << 62
+	limit := uint64(MaxEvents)
+	for cls, stride := range map[uint8]int64{
+		FPSim: d.Sim, FPTrans: d.Trans, FPOrig: d.Orig, FPBarID: d.Bar,
+		FPBarT: d.BarT, FPBarS: d.BarS,
+	} {
+		if stride <= 0 {
+			continue
+		}
+		headroom := ceiling - curr.max[cls]
+		if headroom <= 0 {
+			return 0
+		}
+		if j := uint64(headroom / stride); j < limit {
+			limit = j
+		}
+	}
+	return limit
+}

@@ -1,0 +1,141 @@
+package translate
+
+import (
+	"extrap/internal/trace"
+	"extrap/internal/vtime"
+)
+
+// Steady-state fast-forward support: the simulator fingerprints the
+// whole pipeline — decoder, this stream, the event kernel — at pattern
+// iteration boundaries, and when two snapshots differ only by uniform
+// per-timescale shifts it skips the intervening work wholesale. This
+// file is the translate layer's contribution: its live state as
+// fingerprint slots, and the matching shift application. The two
+// traversals must mirror each other exactly (same slots, same order),
+// or skips would corrupt state instead of advancing it.
+
+// ffBarWindow is how many of the most recent barrier records are
+// fingerprinted and relocated on skip. Exits are only valid for a
+// barrier all n threads have entered, and entering barrier b means the
+// thread exited b-1, which required all threads to have entered b-1 —
+// so every future access lands on one of the last two records.
+// Tracking four gives slack without scanning the whole history.
+const ffBarWindow = 4
+
+// PatternSource returns the compiled-trace cursor feeding this stream,
+// or nil when the source is anything else. Fast-forward only engages
+// when the loop structure is available.
+func (s *Stream) PatternSource() *trace.PatternSource {
+	ps, _ := s.src.(*trace.PatternSource)
+	return ps
+}
+
+// AppendReplayFingerprint appends the stream's live state to fp. It
+// reports false when the stream is in a state fast-forward must not
+// touch (sticky error or exhausted source).
+func (s *Stream) AppendReplayFingerprint(fp *trace.ReplayFingerprint) bool {
+	if s.err != nil || s.srcDone {
+		return false
+	}
+	fp.Push(trace.FPOrig, int64(s.lastTime))
+	fp.Push(trace.FPOrig, int64(s.srcDuration))
+	fp.Push(trace.FPTrans, int64(s.maxTranslated))
+	fp.Push(trace.FPAccum, int64(s.idx))
+	fp.Push(trace.FPExact, int64(s.pending))
+	for i := 0; i < s.n; i++ {
+		fp.Push(trace.FPBarID, s.nextBarrier[i])
+		fp.PushBool(s.inBarrier[i])
+		fp.Push(trace.FPOrig, int64(s.lastOrig[i]))
+		fp.Push(trace.FPTrans, int64(s.lastTranslated[i]))
+		fp.PushBool(s.started[i])
+		q := &s.queues[i]
+		fp.Push(trace.FPExact, int64(q.size))
+		for k := 0; k < q.size; k++ {
+			e := &q.buf[(q.head+k)%len(q.buf)]
+			fp.Push(trace.FPTrans, int64(e.Time))
+			fp.Push(trace.FPExact, int64(e.Kind))
+			fp.Push(trace.FPExact, int64(e.Thread))
+			if e.Kind == trace.KindBarrierEntry || e.Kind == trace.KindBarrierExit {
+				fp.Push(trace.FPBarID, e.Arg0)
+			} else {
+				fp.Push(trace.FPExact, e.Arg0)
+			}
+			fp.Push(trace.FPExact, e.Arg1)
+			fp.Push(trace.FPExact, e.Arg2)
+		}
+	}
+	nb := len(s.barriers)
+	fp.Push(trace.FPBarID, int64(nb))
+	lo := nb - ffBarWindow
+	if lo < 0 {
+		lo = 0
+	}
+	for id := lo; id < nb; id++ {
+		b := &s.barriers[id]
+		fp.Push(trace.FPExact, int64(b.entries))
+		if b.release == 0 {
+			fp.Push(trace.FPExact, 0)
+		} else {
+			fp.Push(trace.FPBarT, int64(b.release))
+		}
+	}
+	return true
+}
+
+// ApplyReplayShift advances the stream's state by j chunks of the
+// learned per-chunk deltas, exactly as replaying j more chunks event by
+// event would have left it. The traversal mirrors
+// AppendReplayFingerprint slot for slot.
+func (s *Stream) ApplyReplayShift(j int64, d *trace.ReplayDeltas) {
+	s.lastTime += vtime.Time(j * d.Orig)
+	s.srcDuration += vtime.Time(j * d.Orig)
+	s.maxTranslated += vtime.Time(j * d.Trans)
+	s.idx += int(j * d.NextAccum())
+	for i := 0; i < s.n; i++ {
+		s.nextBarrier[i] += j * d.Bar
+		s.lastOrig[i] += vtime.Time(j * d.Orig)
+		s.lastTranslated[i] += vtime.Time(j * d.Trans)
+		q := &s.queues[i]
+		for k := 0; k < q.size; k++ {
+			e := &q.buf[(q.head+k)%len(q.buf)]
+			e.Time += vtime.Time(j * d.Trans)
+			if e.Kind == trace.KindBarrierEntry || e.Kind == trace.KindBarrierExit {
+				e.Arg0 += j * d.Bar
+			}
+		}
+	}
+	// Slide the barrier window: the dense-by-id slice grows by j×Δbar
+	// zeroed records and the tracked top records relocate to their new
+	// ids. Records falling below the window are zeroed — they are
+	// provably never read again (see ffBarWindow), so event replay's
+	// frozen values and these zeros are indistinguishable.
+	grow := j * d.Bar
+	nb := len(s.barriers)
+	w := ffBarWindow
+	if nb < w {
+		w = nb
+	}
+	if grow > 0 {
+		var win [ffBarWindow]barrierState
+		copy(win[:w], s.barriers[nb-w:])
+		for id := nb - w; id < nb; id++ {
+			s.barriers[id] = barrierState{}
+		}
+		for k := int64(0); k < grow; k++ {
+			s.barriers = append(s.barriers, barrierState{})
+		}
+		for k := 0; k < w; k++ {
+			b := win[k]
+			if b.release != 0 {
+				b.release += vtime.Time(j * d.BarT)
+			}
+			s.barriers[len(s.barriers)-w+k] = b
+		}
+	} else {
+		for id := nb - w; id < nb; id++ {
+			if b := &s.barriers[id]; b.release != 0 {
+				b.release += vtime.Time(j * d.BarT)
+			}
+		}
+	}
+}

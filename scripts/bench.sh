@@ -6,9 +6,15 @@
 # With the default pattern, every benchmark named in BENCH_baseline.json
 # must produce an output line; a renamed or deleted benchmark otherwise
 # silently drops out of the gate and regressions in it go unwatched.
+#
+# Set PROFILE_DIR to a directory to also capture CPU and heap profiles
+# of each benchmark binary run (main.cpu.pprof/main.mem.pprof for the
+# main set, stream.*.pprof for the pinned streaming run) — the bench
+# gate points this at its diagnostics dir so a failing gate uploads the
+# profiles alongside the snapshots.
 set -e
 
-PATTERN="${BENCH_PATTERN:-BenchmarkSimulation\$|BenchmarkSimulationArena\$|BenchmarkSweepBatch\$|BenchmarkSweepFitted\$|BenchmarkFullPipeline\$|BenchmarkTraceCodec|BenchmarkFig7MgridStartup\$|BenchmarkStoreRoundTrip\$}"
+PATTERN="${BENCH_PATTERN:-BenchmarkSimulation\$|BenchmarkSimulationArena\$|BenchmarkSweepBatch\$|BenchmarkSweepFitted\$|BenchmarkFullPipeline\$|BenchmarkTraceCodec|BenchmarkFig7MgridStartup\$|BenchmarkStoreRoundTrip\$|BenchmarkPatternReplay}"
 TIME="${BENCHTIME:-1s}"
 # The streaming-pipeline benchmark takes hundreds of ms per iteration,
 # so a time budget yields low single-digit iteration counts and noisy
@@ -17,15 +23,31 @@ TIME="${BENCHTIME:-1s}"
 # narrows the set explicitly.
 STREAM_TIME="${STREAM_BENCHTIME:-10x}"
 
-out=$(mktemp)
-trap 'rm -f "$out"' EXIT
+# profile_flags <tag> — emit -cpuprofile/-memprofile flags when
+# PROFILE_DIR is set (profiles land as <tag>.cpu.pprof/<tag>.mem.pprof).
+profile_flags() {
+  [ -n "${PROFILE_DIR:-}" ] || return 0
+  mkdir -p "$PROFILE_DIR"
+  printf -- '-cpuprofile %s/%s.cpu.pprof -memprofile %s/%s.mem.pprof' \
+    "$PROFILE_DIR" "$1" "$PROFILE_DIR" "$1"
+}
 
+out=$(mktemp)
+raw=$(mktemp)
+trap 'rm -f "$out" "$raw"' EXIT
+
+# Collect the raw `go test` output before parsing it, rather than
+# piping: on the left side of a pipe `set -e` cannot see a build or
+# benchmark failure, and the run would emit a syntactically valid but
+# partial JSON snapshot.
 {
-  go test -run '^$' -bench "$PATTERN" -benchtime "$TIME" -benchmem .
+  # shellcheck disable=SC2046
+  go test -run '^$' -bench "$PATTERN" -benchtime "$TIME" -benchmem $(profile_flags main) .
   if [ -z "${BENCH_PATTERN:-}" ]; then
-    go test -run '^$' -bench 'BenchmarkStreamPipelineMemory$' -benchtime "$STREAM_TIME" -benchmem .
+    # shellcheck disable=SC2046
+    go test -run '^$' -bench 'BenchmarkStreamPipelineMemory$' -benchtime "$STREAM_TIME" -benchmem $(profile_flags stream) .
   fi
-} |
+} > "$raw"
 awk '
   # Columns vary (MB/s and custom metrics appear between ns/op and
   # B/op), so locate each value by the unit that follows it.
@@ -45,7 +67,7 @@ awk '
   }
   BEGIN { print "[" }
   END   { print "\n]" }
-' > "$out"
+' < "$raw" > "$out"
 cat "$out"
 
 # Cross-check against the committed baseline: with the default pattern,

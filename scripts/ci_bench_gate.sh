@@ -23,11 +23,20 @@
 # reported as a note, not a failure.
 #
 # Set BENCH_DIAG_DIR to a directory to keep the measured snapshots
-# (current.json, baseline.json) for artifact upload when the gate fails.
+# (current.json, baseline.json), hand-rolled benchstat-style comparison
+# tables (benchstat_*.txt), and CPU/heap profiles of the working-tree
+# run (profiles/) for artifact upload when the gate fails.
 set -e
 
 base_ref="$1"
 tolerance="${BENCH_TOLERANCE:-0.25}"
+
+# Profile the working-tree benchmark run into the diagnostics dir so a
+# failing gate uploads pprof data alongside the numbers. An explicit
+# PROFILE_DIR from the caller wins.
+if [ -n "${BENCH_DIAG_DIR:-}" ] && [ -z "${PROFILE_DIR:-}" ]; then
+	PROFILE_DIR="$BENCH_DIAG_DIR/profiles"
+fi
 
 tmpdir=$(mktemp -d)
 cleanup() {
@@ -44,8 +53,59 @@ snapshot() {
 	cp "$1" "$BENCH_DIAG_DIR/"
 }
 
+# tee_diag <file> — pass stdin through to stdout, also keeping a copy in
+# the diagnostics dir when one is configured.
+tee_diag() {
+	if [ -n "${BENCH_DIAG_DIR:-}" ]; then
+		mkdir -p "$BENCH_DIAG_DIR"
+		tee "$BENCH_DIAG_DIR/$1"
+	else
+		cat
+	fi
+}
+
+# benchstat_table <old.json> <new.json> — hand-rolled benchstat-style
+# old-vs-new table (benchstat itself cannot be installed in CI, and the
+# snapshots are single-sample JSON, not `go test -bench` text anyway).
+# One row per benchmark in either snapshot, baseline order first.
+benchstat_table() {
+	awk '
+		function val(line, key,    r) {
+			r = line
+			if (!sub(".*\"" key "\":", "", r)) return ""
+			sub(/[,}].*/, "", r)
+			return r
+		}
+		function fmtdelta(o, n) {
+			if (o == "" || n == "" || o == "null" || n == "null" || o + 0 <= 0) return "~"
+			return sprintf("%+.1f%%", (n - o) / o * 100)
+		}
+		function orval(v) { return (v == "" || v == "null") ? "-" : v }
+		/"name":/ {
+			n = val($0, "name"); gsub(/"/, "", n)
+			if (NR == FNR) {
+				if (!(n in ons)) order[++cnt] = n
+				ons[n] = val($0, "ns_per_op"); oal[n] = val($0, "allocs_per_op")
+			} else {
+				if (!(n in ons) && !(n in nns)) order[++cnt] = n
+				nns[n] = val($0, "ns_per_op"); nal[n] = val($0, "allocs_per_op")
+			}
+		}
+		END {
+			printf "%-48s %14s %14s %8s | %11s %11s %8s\n", \
+				"name", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta"
+			for (i = 1; i <= cnt; i++) {
+				n = order[i]
+				printf "%-48s %14s %14s %8s | %11s %11s %8s\n", n, \
+					orval(ons[n]), orval(nns[n]), fmtdelta(ons[n], nns[n]), \
+					orval(oal[n]), orval(nal[n]), fmtdelta(oal[n], nal[n])
+			}
+		}
+	' "$1" "$2"
+}
+
 echo "bench-gate: benchmarking working tree..."
-./scripts/bench.sh > "$tmpdir/current.json"
+PROFILE_DIR="${PROFILE_DIR:-}" ./scripts/bench.sh > "$tmpdir/current.json"
 snapshot "$tmpdir/current.json"
 
 if [ -n "$base_ref" ] &&
@@ -53,8 +113,10 @@ if [ -n "$base_ref" ] &&
 	git cat-file -e "$base_ref:scripts/bench.sh" 2>/dev/null; then
 	echo "bench-gate: benchmarking base $(git rev-parse --short "$base_ref") on this machine..."
 	git worktree add --detach "$tmpdir/base" "$base_ref" >/dev/null 2>&1
-	(cd "$tmpdir/base" && ./scripts/bench.sh) > "$tmpdir/baseline.json"
+	(cd "$tmpdir/base" && PROFILE_DIR= ./scripts/bench.sh) > "$tmpdir/baseline.json"
 	snapshot "$tmpdir/baseline.json"
+	echo "bench-gate: old-vs-new, base ref vs working tree (same machine)"
+	benchstat_table "$tmpdir/baseline.json" "$tmpdir/current.json" | tee_diag benchstat_base.txt
 	echo "bench-gate: ns/op vs same-machine base snapshot"
 	go run ./scripts/benchgate \
 		-baseline "$tmpdir/baseline.json" -current "$tmpdir/current.json" \
@@ -63,6 +125,8 @@ else
 	echo "bench-gate: no usable base ref; ns/op gate skipped (committed baseline is from different hardware)"
 fi
 
+echo "bench-gate: old-vs-new, committed BENCH_baseline.json vs working tree"
+benchstat_table BENCH_baseline.json "$tmpdir/current.json" | tee_diag benchstat_committed.txt
 echo "bench-gate: allocs/op vs committed BENCH_baseline.json"
 go run ./scripts/benchgate \
 	-baseline BENCH_baseline.json -current "$tmpdir/current.json" \
